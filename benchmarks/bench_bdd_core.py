@@ -1,0 +1,32 @@
+"""Micro-benchmarks of the BDD substrate (build + Boolean difference)."""
+
+from repro.atpg import CircuitBdd
+from repro.bdd import BddManager
+from repro.digital import parity_tree, ripple_adder
+
+
+def test_bdd_build_adder(benchmark):
+    circuit = ripple_adder(8)
+    result = benchmark(lambda: CircuitBdd(circuit).total_nodes())
+    assert result > 8
+
+
+def test_bdd_build_parity(benchmark):
+    # Parity is linear-sized under any order — a pure engine throughput test.
+    circuit = parity_tree(24)
+    result = benchmark(lambda: CircuitBdd(circuit).total_nodes())
+    assert result > 24
+
+
+def test_boolean_difference_throughput(benchmark):
+    mgr = BddManager([f"x{i}" for i in range(16)])
+    f = mgr.var("x0")
+    for i in range(1, 16):
+        g = mgr.and_(mgr.var(f"x{i}"), f) if i % 2 else mgr.or_(mgr.var(f"x{i}"), f)
+        f = mgr.xor(f, g)
+
+    def diffs():
+        return [mgr.boolean_difference(f, f"x{i}") for i in range(16)]
+
+    result = benchmark(diffs)
+    assert len(result) == 16

@@ -1,0 +1,45 @@
+"""Ablation: worst-case adversary model (sensitivity budget vs corners).
+
+The first-order budget adversary must be conservative relative to the
+optimistic no-adversary bound and agree with exhaustive corner
+enumeration within the band-pass filter's mild nonlinearity.
+"""
+
+import math
+
+from repro.analog import worst_case_deviation
+from repro.circuits import bandpass_filter, bandpass_parameters
+
+
+def test_adversary_ablation(benchmark, record_table):
+    circuit = bandpass_filter()
+    a1 = next(p for p in bandpass_parameters() if p.name == "A1")
+
+    def run_all():
+        budget = worst_case_deviation(
+            circuit, a1, "Rd", adversary="sensitivity"
+        ).deviation
+        corners = worst_case_deviation(
+            circuit, a1, "Rd", adversary="corners"
+        ).deviation
+        optimistic = worst_case_deviation(
+            circuit, a1, "Rd", adversary="none"
+        ).deviation
+        return budget, corners, optimistic
+
+    budget, corners, optimistic = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    record_table(
+        "ablation_adversary",
+        f"A1/Rd worst-case deviation: sensitivity-budget={budget:.4f}, "
+        f"corners={corners:.4f}, no-adversary={optimistic:.4f}",
+    )
+    # Guarantees must not be cheaper than the optimistic bound.
+    assert budget >= optimistic - 1e-6
+    assert corners >= optimistic - 1e-6
+    # First-order vs exact corners agree within the filter's nonlinearity.
+    assert math.isfinite(budget) and math.isfinite(corners)
+    assert abs(budget - corners) / corners < 0.35
+    # The optimistic bound is the parameter tolerance itself (5 %).
+    assert 0.04 < optimistic < 0.07

@@ -1,0 +1,35 @@
+"""Benchmark EX1: the Example 1 worst-case deviation matrix (eq. 1).
+
+Shape assertions (paper vs reproduction):
+
+* A1 (center-frequency gain) covers exactly {Rg, Rd}, both near 10 %,
+* f0 is independent of Rg and Rd,
+* the selected test set achieves full element coverage.
+"""
+
+import math
+
+from repro.experiments import example1
+
+
+def test_example1_matrix(benchmark, record_table):
+    result = benchmark.pedantic(example1.run, rounds=1, iterations=1)
+    record_table("example1", result.render())
+    matrix = result.matrix
+
+    a1_row = {
+        element: matrix.deviation_percent("A1", element)
+        for element in matrix.elements
+    }
+    covered_by_a1 = {e for e, ed in a1_row.items() if math.isfinite(ed)}
+    assert covered_by_a1 == {"Rg", "Rd"}
+    assert 5.0 < a1_row["Rd"] < 15.0
+    assert 5.0 < a1_row["Rg"] < 15.0
+
+    assert math.isinf(matrix.deviation_percent("f0", "Rg"))
+    assert math.isinf(matrix.deviation_percent("f0", "Rd"))
+    for element in ("R1", "R2", "R3", "R4", "C1", "C2"):
+        assert math.isfinite(matrix.deviation_percent("f0", element))
+
+    assert result.selection.complete
+    assert "A1" in result.selection.parameters

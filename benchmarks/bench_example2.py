@@ -1,0 +1,14 @@
+"""Benchmark EX2: Example 2 — exactly 2 of 18 faults die under Fc = l0+l2."""
+
+from repro.experiments import example2
+
+
+def test_example2_constraint_effect(benchmark, record_table):
+    result = benchmark.pedantic(example2.run, rounds=3, iterations=1)
+    record_table("example2", result.render())
+
+    assert result.unconstrained.n_faults == 18
+    assert result.unconstrained.n_untestable == 0  # fully testable alone
+    assert result.constrained.n_untestable == 2  # the paper's NUF = 2
+    killed = {str(f) for f in result.constrained.untestable_faults()}
+    assert killed == {"l3 s-a-0", "l5 s-a-0"}

@@ -1,0 +1,15 @@
+"""Benchmark F6: the Figure 6 OBDD propagation picture."""
+
+from repro.experiments import figure6
+
+
+def test_figure6_obdds(benchmark, record_table):
+    result = benchmark.pedantic(figure6.run, rounds=5, iterations=1)
+    record_table("figure6", result.render())
+
+    # With l0 = D and l2 = D̄ the fault is observable at Vo2 (the BDD
+    # contains a D node) and l1 = 1 sensitizes it, as in the paper.
+    assert "Vo2" in result.observable_outputs
+    assert result.vector is not None
+    assert result.vector.get("l1") == 1
+    assert "D" in result.dots["Vo2"]

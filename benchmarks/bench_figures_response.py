@@ -1,0 +1,21 @@
+"""Benchmark F2/F7/F8: frequency responses of the three paper filters."""
+
+from repro.experiments import responses
+
+
+def test_filter_responses(benchmark, record_table):
+    result = benchmark.pedantic(responses.run, rounds=1, iterations=1)
+    record_table("responses", result.render())
+
+    bandpass = result.headlines["fig2-bandpass"]
+    assert 2300 < bandpass["f0 [Hz]"] < 2700  # designed 2.5 kHz
+    assert 1.8 < bandpass["A1 (peak gain)"] < 2.2  # designed gain 2
+    assert bandpass["fc1 [Hz]"] < bandpass["f0 [Hz]"] < bandpass["fc2 [Hz]"]
+
+    chebyshev = result.headlines["fig7-chebyshev"]
+    assert 0.8 < chebyshev["Adc"] < 1.2
+    assert 5_000 < chebyshev["fc [Hz]"] < 15_000  # the 10 kHz knee
+
+    state_variable = result.headlines["fig8-state-variable"]
+    assert 0.5 < state_variable["A3dc (LP)"] < 1.5
+    assert state_variable["fh1 [Hz] (HP)"] > 50_000

@@ -1,0 +1,32 @@
+"""Micro-benchmarks of the substrates: fault simulation and MNA solves."""
+
+import random
+
+from repro.circuits import chebyshev_filter
+from repro.digital import fault_universe, fault_simulate, iscas85_like
+from repro.spice import MnaSolver, gain_at
+
+
+def test_fault_simulation_c432(benchmark):
+    circuit = iscas85_like("c432")
+    faults = fault_universe(circuit)[:200]
+    rng = random.Random(7)
+    patterns = [
+        {name: rng.randint(0, 1) for name in circuit.inputs}
+        for _ in range(64)
+    ]
+    detected = benchmark(lambda: fault_simulate(circuit, patterns, faults))
+    assert sum(detected.values()) > 0
+
+
+def test_mna_solve_chebyshev(benchmark):
+    circuit = chebyshev_filter()
+    solver = MnaSolver(circuit)
+    solution = benchmark(lambda: solver.solve(5_000.0))
+    assert abs(solution.voltage("Vo")) >= 0.0
+
+
+def test_ac_gain_chebyshev(benchmark):
+    circuit = chebyshev_filter()
+    gain = benchmark(lambda: gain_at(circuit, "Vin", "Vo", 5_000.0))
+    assert 0.5 < gain < 1.2

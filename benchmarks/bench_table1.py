@@ -1,0 +1,25 @@
+"""Benchmark TB1: Table 1 stimulus selection for every parameter/bound."""
+
+from repro.experiments import table1
+from repro.atpg import CompositeValue
+from repro.core import Bound
+
+
+def test_table1_stimuli(benchmark, record_table):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    record_table("table1", result.render())
+
+    assert len(result.choices) == 10  # 5 parameters x 2 bounds
+    for choice in result.choices:
+        # Upper-bound tests give D̄ (good 0 / faulty 1), lower give D.
+        if choice.bound is Bound.UPPER:
+            assert choice.composite is CompositeValue.D_BAR
+        else:
+            assert choice.composite is CompositeValue.D
+        assert choice.stimulus.amplitude > 0
+    # The AC-gain stimulus sits at the parameter's own frequency.
+    a2 = [c for c in result.choices if c.parameter == "A2"]
+    assert all(c.stimulus.frequency_hz == 10_000.0 for c in a2)
+    # The center-frequency stimulus sits near the nominal f0 = 2.5 kHz.
+    f0 = [c for c in result.choices if c.parameter == "f0"]
+    assert all(2300 < c.stimulus.frequency_hz < 2700 for c in f0)

@@ -1,0 +1,28 @@
+"""Benchmark T4: constrained vs unconstrained ATPG on the benchmark set.
+
+Shape assertions (the paper's reading of its Table 4):
+
+* adding the conversion-block constraints never *reduces* the number of
+  untestable faults, and increases it for most circuits,
+* CPU time is of the same order in both cases (the algebraic method has
+  no backtracking blow-up),
+* vector counts stay in the tens, far below the fault counts.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4_constraints(benchmark, record_table):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    record_table("table4", result.render())
+
+    assert len(result.rows) == 5
+    increased = 0
+    for row in result.rows:
+        assert row.with_constraints.n_untestable >= row.without.n_untestable
+        if row.with_constraints.n_untestable > row.without.n_untestable:
+            increased += 1
+        assert 0 < row.without.n_vectors < row.n_faults
+        assert 0 < row.with_constraints.n_vectors < row.n_faults
+    # The paper: "An increase ... for all the circuits but C499".
+    assert increased >= 4

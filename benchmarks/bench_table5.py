@@ -1,0 +1,20 @@
+"""Benchmark T5: composite-value propagation through each comparator.
+
+Shape assertions: only a small minority of comparators block propagation
+(the paper reports 0–4 of 15 per circuit and per fault side).
+"""
+
+from repro.experiments import table5
+
+
+def test_table5_comparator_propagation(benchmark, record_table):
+    result = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    record_table("table5", result.render())
+
+    assert len(result.rows) == 5
+    for row in result.rows:
+        assert row.n_converter_lines == 15
+        # Most comparators must be usable, else the method is moot.
+        assert row.blocked_d <= 7
+        assert row.blocked_dbar <= 7
+        assert len(row.observability_d) == 15

@@ -1,0 +1,28 @@
+"""Benchmark T6: conversion-circuit element coverage (direct access).
+
+Shape assertions: the tent profile — tight coverage at the rails, the
+loosest at the middle tap, which tests the merged pair R8,R9.
+"""
+
+import math
+
+from repro.experiments import table6
+
+
+def test_table6_ladder_tent(benchmark, record_table):
+    result = benchmark.pedantic(table6.run, rounds=3, iterations=1)
+    record_table("table6", result.render())
+
+    coverage = result.coverage
+    eds = coverage.ed_percent
+    assert len(eds) == 15
+    assert all(math.isfinite(ed) for ed in eds)
+    middle = len(eds) // 2
+    # Tent: rises to the middle, falls after.
+    for i in range(middle):
+        assert eds[i] <= eds[i + 1] + 1e-6
+    for i in range(middle, len(eds) - 1):
+        assert eds[i] >= eds[i + 1] - 1e-6
+    assert eds[middle] == max(eds)
+    assert coverage.elements[middle] == "R8,R9"  # the paper's merged cell
+    assert eds[0] < 20.0 and eds[-1] < 20.0  # rail taps are tight

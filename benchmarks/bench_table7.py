@@ -1,0 +1,24 @@
+"""Benchmark T7: conversion-block coverage inside the mixed circuit.
+
+Shape assertions: blocked comparators show as dashed cells and their
+resistors merge into neighbouring taps with equal-or-looser E.D. than
+the direct-access Table 6 values.
+"""
+
+import math
+
+from repro.experiments import table6, table7
+
+
+def test_table7_constrained_ladder(benchmark, record_table):
+    result = benchmark.pedantic(table7.run, rounds=1, iterations=1)
+    record_table("table7", result.render())
+
+    direct = table6.run().coverage
+    assert set(result.coverages) == {"c432", "c499", "c1355"}
+    for name, coverage in result.coverages.items():
+        assert len(coverage.ed_percent) == 15
+        for tap_index, ed in enumerate(coverage.ed_percent):
+            if math.isfinite(ed):
+                # Case 2 is never tighter than direct access at that tap.
+                assert ed >= direct.ed_percent[tap_index] - 1e-6

@@ -1,0 +1,24 @@
+"""Benchmark T8: the Figure 8 validation board — CD vs MPD.
+
+Shape assertions (the paper's section 3.1 claims):
+
+* every injected worst-case component deviation pushes its measured
+  parameter out of the ±5 % tolerance box,
+* the worst-case computation is pessimistic for most components (MPD
+  comfortably exceeds the 5 % bound),
+* the faults are visible at the digital outputs of the board.
+"""
+
+from repro.experiments import table8
+
+
+def test_table8_board(benchmark, record_table):
+    result = benchmark.pedantic(table8.run, rounds=1, iterations=1)
+    record_table("table8", result.render())
+
+    rows = result.rows
+    assert len(rows) >= 8  # most of the 12 components covered
+    out_of_box = [r for r in rows if r.out_of_box]
+    assert len(out_of_box) == len(rows)  # every CD detected
+    digital = [r for r in rows if r.detected_digitally]
+    assert len(digital) >= int(0.7 * len(rows))

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures and result capture.
+
+Every table/figure benchmark writes its rendered table to
+``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the regenerated paper evaluation on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record_table():
+    """Write a rendered experiment table under benchmarks/results/."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return write

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Automatic Test Vector Generation for
+Mixed-Signal Circuits" (Ayari, BenHamida & Kaminska, DATE 1995).
+
+The package is organized as the paper's system is:
+
+* :mod:`repro.bdd` — ROBDD engine (the Boolean-manipulation substrate),
+* :mod:`repro.digital` — gate-level netlists, faults, simulation,
+* :mod:`repro.atpg` — backtrack-free constrained stuck-at ATPG and
+  composite-value (D) propagation,
+* :mod:`repro.spice` — linear MNA analog simulator,
+* :mod:`repro.analog` — sensitivities, worst-case element deviations,
+  test-parameter selection,
+* :mod:`repro.conversion` — flash ADC, thermometer constraints, ladder
+  element testing,
+* :mod:`repro.core` — the mixed-signal test generator tying it together,
+* :mod:`repro.circuits` — the paper's example circuits,
+* :mod:`repro.experiments` — regenerators for every table and figure.
+
+Quickstart::
+
+    from repro.circuits import fig4_mixed_circuit
+    from repro.core import MixedSignalTestGenerator
+
+    mixed = fig4_mixed_circuit()
+    report = MixedSignalTestGenerator(mixed).run()
+    print(report.summary())
+"""
+
+from .core import (
+    MixedSignalCircuit,
+    MixedSignalTestGenerator,
+    MixedTestReport,
+    StateVariableBoard,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MixedSignalCircuit",
+    "MixedSignalTestGenerator",
+    "MixedTestReport",
+    "StateVariableBoard",
+    "__version__",
+]

@@ -1,0 +1,189 @@
+"""Graph modeling of analog circuits (the paper's section 2.1, after [8]).
+
+"The test vector generation method proposed here is based on graph
+modeling ... Graph modeling reduces the complexity of the relation
+between input and output ... we can transform the problem of analog
+circuit testing to a known flow problem in graph theory."
+
+Two graphs appear in the method:
+
+* the **circuit graph** — nodes are electrical nodes, edges are
+  components; used for structural reasoning (connectivity, which
+  elements sit in an output's cone);
+* the **coverage graph** — the weighted bipartite parameter↔element
+  graph of :mod:`repro.analog.selection`; this module adds the
+  flow/matching formulations: a maximum matching certifies how many
+  elements can be assigned *dedicated* measurements, and König's
+  theorem turns it into a lower bound on any test set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..spice import AnalogCircuit
+from .deviation import DeviationMatrix
+from .selection import coverage_graph
+
+__all__ = [
+    "circuit_graph",
+    "elements_between",
+    "MatchingCertificate",
+    "matching_certificate",
+    "assignment_by_flow",
+]
+
+
+def circuit_graph(circuit: AnalogCircuit) -> nx.MultiGraph:
+    """The circuit as a multigraph: electrical nodes ↔ component edges.
+
+    Two-terminal elements contribute one edge; controlled sources and
+    op-amps contribute edges for each port so connectivity queries see
+    through them.
+    """
+    graph = nx.MultiGraph()
+    graph.add_node("0")
+    for component in circuit.components:
+        pairs = []
+        attrs = [
+            ("n1", "n2"),
+            ("plus", "minus"),
+            ("out_plus", "out_minus"),
+            ("ctrl_plus", "ctrl_minus"),
+        ]
+        for a, b in attrs:
+            n1, n2 = getattr(component, a, None), getattr(component, b, None)
+            if n1 is not None and n2 is not None:
+                pairs.append((n1, n2))
+        in_plus = getattr(component, "in_plus", None)
+        out = getattr(component, "out", None)
+        if in_plus is not None and out is not None:
+            pairs.append((in_plus, out))
+            pairs.append((getattr(component, "in_minus"), out))
+        for n1, n2 in pairs:
+            graph.add_edge(n1, n2, component=component.name)
+    return graph
+
+
+def elements_between(
+    circuit: AnalogCircuit, source_node: str, output_node: str
+) -> set[str]:
+    """Value-carrying elements on some simple path source→output.
+
+    A cheap structural over-approximation of "which elements can affect
+    this output" used for sanity-checking sensitivity results: an
+    element with measurable sensitivity must lie on such a path (in a
+    connected active network, usually all of them do).
+    """
+    graph = circuit_graph(circuit)
+    if source_node not in graph or output_node not in graph:
+        return set()
+    relevant: set[str] = set()
+    component_names = set(circuit.element_names())
+    # An edge is relevant when removing its endpoints does not leave it
+    # outside the source/output component: approximate via biconnected
+    # reasoning — any edge in the same connected component as both ends.
+    for component in nx.connected_components(graph):
+        if source_node in component and output_node in component:
+            for n1, n2, data in graph.edges(component, data=True):
+                name = data.get("component")
+                if name in component_names:
+                    relevant.add(name)
+    return relevant
+
+
+@dataclass
+class MatchingCertificate:
+    """Matching-based bounds on the parameter-selection problem."""
+
+    #: size of a maximum parameter↔element matching.
+    matching_size: int
+    #: elements matched to a dedicated parameter.
+    matched_elements: dict[str, str]
+    #: König lower bound: any set of parameters covering all coverable
+    #: elements has at least ``ceil(matching_size / max_degree)``...
+    #: practically, the vertex-cover size restricted to the parameter
+    #: side lower-bounds nothing directly, so we report the exact lower
+    #: bound computed from the cover: the number of parameter-side
+    #: vertices in a minimum vertex cover.
+    parameter_lower_bound: int
+
+
+def matching_certificate(
+    matrix: DeviationMatrix, max_ed_percent: float = math.inf
+) -> MatchingCertificate:
+    """Maximum matching + König vertex cover on the coverage graph.
+
+    The minimum vertex cover of the bipartite coverage graph (König)
+    splits into parameter-side and element-side vertices; every edge
+    (testing opportunity) touches the cover, so the parameter side of
+    the cover is the set of "unavoidable" measurements for the elements
+    not in the cover themselves.  Its size lower-bounds any test set
+    that covers those elements.
+    """
+    graph = coverage_graph(matrix, max_ed_percent)
+    parameter_nodes = {
+        n for n, d in graph.nodes(data=True) if d["side"] == "parameter"
+    }
+    # Drop isolated nodes: they carry no edges and break bipartite sets.
+    active = graph.subgraph([n for n in graph if graph.degree(n) > 0])
+    if active.number_of_edges() == 0:
+        return MatchingCertificate(0, {}, 0)
+    top = {n for n in active if n in parameter_nodes}
+    matching = nx.bipartite.maximum_matching(active, top_nodes=top)
+    matched_elements = {
+        node[1]: partner[1]
+        for node, partner in matching.items()
+        if node[0] == "E"
+    }
+    cover = nx.bipartite.to_vertex_cover(active, matching, top_nodes=top)
+    parameter_lower_bound = sum(1 for n in cover if n in parameter_nodes)
+    return MatchingCertificate(
+        matching_size=len(matched_elements),
+        matched_elements=matched_elements,
+        parameter_lower_bound=parameter_lower_bound,
+    )
+
+
+def assignment_by_flow(
+    matrix: DeviationMatrix,
+    parameters: list[str],
+    capacity: int = 4,
+    max_ed_percent: float = math.inf,
+) -> dict[str, str]:
+    """Assign elements to the chosen parameters by min-cost flow.
+
+    Each selected parameter can "absorb" at most ``capacity`` elements
+    (a measurement-time budget); costs are the E.D. percentages, so the
+    flow finds the cheapest feasible assignment — the "known flow
+    problem" formulation the paper alludes to.  Elements that cannot be
+    assigned within capacity are left out of the result.
+    """
+    graph = nx.DiGraph()
+    source, sink = "__s__", "__t__"
+    scale = 100  # integer costs for networkx min-cost flow
+    for element in matrix.elements:
+        graph.add_edge(source, ("E", element), capacity=1, weight=0)
+    for parameter in parameters:
+        graph.add_edge(
+            ("P", parameter), sink, capacity=capacity, weight=0
+        )
+        for element in matrix.elements:
+            ed = matrix.deviation_percent(parameter, element)
+            if math.isfinite(ed) and ed <= max_ed_percent:
+                graph.add_edge(
+                    ("E", element),
+                    ("P", parameter),
+                    capacity=1,
+                    weight=int(ed * scale),
+                )
+    flow = nx.max_flow_min_cost(graph, source, sink)
+    assignment: dict[str, str] = {}
+    for element in matrix.elements:
+        for target, units in flow.get(("E", element), {}).items():
+            if units > 0 and isinstance(target, tuple) and target[0] == "P":
+                assignment[element] = target[1]
+    return assignment

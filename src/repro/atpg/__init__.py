@@ -1,0 +1,41 @@
+"""Constrained, backtrack-free BDD ATPG (reproduction of BDD_FTEST + §2.2/2.3)."""
+
+from .ckt2bdd import CircuitBdd, build_gate
+from .stuckat import StuckAtGenerator, TestResult, TestStatus
+from .composite import (
+    CompositePropagation,
+    CompositeValue,
+    D_VARIABLE,
+    propagate_composite,
+)
+from .constrained import AtpgRun, constraint_builder_from_terms, run_atpg
+from .random_gen import (
+    acceptance_rate,
+    constrained_random_patterns,
+    random_coverage_curve,
+    random_patterns,
+)
+from .vectors import AnalogStimulus, DigitalVector, MixedTestStep, format_program
+
+__all__ = [
+    "CircuitBdd",
+    "build_gate",
+    "StuckAtGenerator",
+    "TestResult",
+    "TestStatus",
+    "CompositeValue",
+    "CompositePropagation",
+    "D_VARIABLE",
+    "propagate_composite",
+    "AtpgRun",
+    "run_atpg",
+    "constraint_builder_from_terms",
+    "random_patterns",
+    "acceptance_rate",
+    "constrained_random_patterns",
+    "random_coverage_curve",
+    "AnalogStimulus",
+    "DigitalVector",
+    "MixedTestStep",
+    "format_program",
+]

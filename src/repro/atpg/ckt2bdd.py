@@ -1,0 +1,205 @@
+"""Compile gate-level netlists into BDDs.
+
+This is the front half of BDD_FTEST ([10] in the paper): every line of the
+digital circuit gets a BDD over the primary inputs, with the fan-in
+variable-ordering heuristic keeping sizes tractable.  For fault insertion
+the compiler can re-derive the downstream cone of any line with a fresh
+*cut variable* ``w`` spliced in at the fault site — the algebraic analogue
+of the D-frontier.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..bdd import BddManager, fanin_order, declaration_order
+from ..bdd.manager import FALSE, TRUE
+from ..digital.gates import GateType
+from ..digital.netlist import Circuit
+
+__all__ = ["CircuitBdd", "build_gate"]
+
+_ORDERINGS = {"fanin", "declaration"}
+
+
+def build_gate(mgr: BddManager, gate_type: GateType, operands: Sequence[int]) -> int:
+    """Combine operand BDDs according to the gate type."""
+    if gate_type is GateType.BUF:
+        return operands[0]
+    if gate_type is GateType.NOT:
+        return mgr.not_(operands[0])
+    if gate_type is GateType.AND:
+        return mgr.and_(*operands)
+    if gate_type is GateType.NAND:
+        return mgr.nand(*operands)
+    if gate_type is GateType.OR:
+        return mgr.or_(*operands)
+    if gate_type is GateType.NOR:
+        return mgr.nor(*operands)
+    if gate_type is GateType.XOR:
+        acc = operands[0]
+        for op in operands[1:]:
+            acc = mgr.xor(acc, op)
+        return acc
+    if gate_type is GateType.XNOR:
+        acc = operands[0]
+        for op in operands[1:]:
+            acc = mgr.xor(acc, op)
+        return mgr.not_(acc)
+    if gate_type is GateType.CONST0:
+        return FALSE
+    if gate_type is GateType.CONST1:
+        return TRUE
+    raise ValueError(f"cannot build BDD for gate type {gate_type}")
+
+
+class CircuitBdd:
+    """BDD view of a combinational circuit.
+
+    On construction, every signal's function over the primary inputs is
+    built once and cached.  :meth:`functions_with_cut` then produces output
+    functions with a chosen line replaced by a free cut variable, reusing
+    the cached functions for everything outside the cut's fan-out cone.
+
+    Args:
+        circuit: the netlist to compile.
+        ordering: ``"fanin"`` (default, DFS cone order) or ``"declaration"``
+            — exposed so the ordering ablation benchmark can compare both.
+        manager: optionally share an existing manager (used by the mixed
+            flow so the constraint function lives in the same BDD space).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        ordering: str = "fanin",
+        manager: BddManager | None = None,
+    ):
+        if ordering not in _ORDERINGS:
+            raise ValueError(f"ordering must be one of {_ORDERINGS}")
+        circuit.validate()
+        self.circuit = circuit
+        if ordering == "fanin":
+            order = fanin_order(
+                circuit.outputs, circuit.fanin_view(), circuit.inputs
+            )
+        else:
+            order = declaration_order(circuit.inputs)
+        if manager is None:
+            manager = BddManager(order)
+        else:
+            for name in order:
+                if not manager.has_variable(name):
+                    manager.add_variable(name)
+        self.mgr = manager
+        self.functions: dict[str, int] = {}
+        for name in circuit.inputs:
+            self.functions[name] = self.mgr.var(name)
+        for signal in circuit.topological_order():
+            gate = circuit.gates[signal]
+            operands = [self.functions[src] for src in gate.fanins]
+            self.functions[signal] = build_gate(self.mgr, gate.gate_type, operands)
+
+    # ------------------------------------------------------------------
+    def output_functions(self) -> dict[str, int]:
+        """BDD of every primary output over the primary inputs."""
+        return {out: self.functions[out] for out in self.circuit.outputs}
+
+    def line_function(self, line: str) -> int:
+        """Good-circuit function of an arbitrary line."""
+        return self.functions[line]
+
+    def fanout_cone(self, line: str) -> set[str]:
+        """Signals in the transitive fan-out of ``line`` (excluding it)."""
+        fanout = self.circuit.fanout_map()
+        cone: set[str] = set()
+        stack = [line]
+        while stack:
+            signal = stack.pop()
+            for gate, _pin in fanout.get(signal, ()):
+                if gate not in cone:
+                    cone.add(gate)
+                    stack.append(gate)
+        return cone
+
+    def cut_variable(self, line: str, pin_site: tuple[str, int] | None = None) -> int:
+        """The cut variable for a fault site (created on first use, last in order)."""
+        key = ("cut", line, pin_site)
+        if not self.mgr.has_variable(key):
+            return self.mgr.add_variable(key)
+        return self.mgr.var(key)
+
+    def functions_with_cut(
+        self, line: str, pin_site: tuple[str, int] | None = None
+    ) -> tuple[int, dict[str, int]]:
+        """Output functions with the fault site replaced by a cut variable.
+
+        ``pin_site`` of ``(gate, pin)`` cuts only that branch (a fan-out
+        branch fault); ``None`` cuts the stem.  Returns ``(w, outputs)``
+        where ``w`` is the cut variable node and ``outputs`` maps each
+        primary output to its BDD over PIs ∪ {w}.
+
+        The cut variable is appended at the *end* of the variable order —
+        the same choice the paper makes for the composite value ``D``
+        ("D is supposed to be a primary input which is last in the BDD
+        ordering") — so the shared top structure of the output BDDs is
+        untouched.
+        """
+        w = self.cut_variable(line, pin_site)
+        if pin_site is None:
+            cone = self.fanout_cone(line)
+        else:
+            cone = {pin_site[0]} | self.fanout_cone(pin_site[0])
+        local: dict[str, int] = {}
+
+        def value_of(signal: str, for_gate: str | None, pin: int | None) -> int:
+            if pin_site is None:
+                if signal == line:
+                    return w
+            else:
+                if (
+                    signal == line
+                    and for_gate == pin_site[0]
+                    and pin == pin_site[1]
+                ):
+                    return w
+            if signal in local:
+                return local[signal]
+            return self.functions[signal]
+
+        for signal in self.circuit.topological_order():
+            if signal not in cone:
+                continue
+            gate = self.circuit.gates[signal]
+            operands = [
+                value_of(src, signal, pin) for pin, src in enumerate(gate.fanins)
+            ]
+            local[signal] = build_gate(self.mgr, gate.gate_type, operands)
+
+        outputs: dict[str, int] = {}
+        for out in self.circuit.outputs:
+            if out == line and pin_site is None:
+                outputs[out] = w
+            else:
+                outputs[out] = local.get(out, self.functions[out])
+        return w, outputs
+
+    def substituted_outputs(self, substitutions: dict[str, int]) -> dict[str, int]:
+        """Output functions with some primary inputs replaced by BDDs.
+
+        Used by the composite-value (analog fault) flow: the converter-
+        driven inputs are pinned to constants, ``D`` or ``D̄`` and the
+        whole circuit is re-evaluated symbolically in one pass.
+        """
+        values: dict[str, int] = {}
+        for name in self.circuit.inputs:
+            values[name] = substitutions.get(name, self.mgr.var(name))
+        for signal in self.circuit.topological_order():
+            gate = self.circuit.gates[signal]
+            operands = [values[src] for src in gate.fanins]
+            values[signal] = build_gate(self.mgr, gate.gate_type, operands)
+        return {out: values[out] for out in self.circuit.outputs}
+
+    def total_nodes(self) -> int:
+        """Size of the manager — the ordering-ablation metric."""
+        return len(self.mgr)

@@ -1,0 +1,160 @@
+"""Random-pattern test generation — the paper's rejected alternative.
+
+Table 4's discussion: "when we have no constraints on the PIs of a
+circuit, a random test vector generator can be used to accelerate test
+vector generation.  In the second case, a random test pattern can be
+simulated only if it satisfies the constraints imposed by the analog
+block ... For this reason we have chosen to generate all the test
+vectors deterministically."
+
+This module quantifies that argument:
+
+* :func:`random_patterns` — plain uniform patterns;
+* :func:`acceptance_rate` — the fraction of uniform patterns that
+  satisfy ``Fc`` (for a 15-line thermometer code: 16/32768 ≈ 0.05 %,
+  which is why rejection sampling is hopeless);
+* :func:`constrained_random_patterns` — uniform sampling *inside* the
+  constraint, by weighted descent of the ``Fc`` BDD (linear time per
+  pattern — the fix the paper did not have);
+* :func:`random_coverage_curve` — fault coverage vs pattern count, the
+  classic random-ATPG saturation curve.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..bdd.manager import FALSE, TRUE, BddManager
+from ..digital.faults import Fault
+from ..digital.netlist import Circuit
+from ..digital.simulate import fault_simulate
+
+__all__ = [
+    "random_patterns",
+    "acceptance_rate",
+    "constrained_random_patterns",
+    "random_coverage_curve",
+]
+
+
+def random_patterns(
+    circuit: Circuit, count: int, seed: int
+) -> list[dict[str, int]]:
+    """Uniform random input patterns (deterministic in ``seed``)."""
+    rng = random.Random(seed)
+    return [
+        {name: rng.randint(0, 1) for name in circuit.inputs}
+        for _ in range(count)
+    ]
+
+
+def acceptance_rate(
+    mgr: BddManager, fc: int, n_inputs: int
+) -> float:
+    """Probability a uniform assignment satisfies ``Fc`` (exact, via BDD)."""
+    return mgr.sat_count(fc, n_inputs) / 2**n_inputs
+
+
+def constrained_random_patterns(
+    circuit: Circuit,
+    mgr: BddManager,
+    fc: int,
+    count: int,
+    seed: int,
+) -> list[dict[str, int]]:
+    """Sample uniformly from the satisfying set of ``Fc``.
+
+    Walks the BDD from the root, choosing each branch with probability
+    proportional to its satisfying-assignment count; variables absent
+    from ``Fc``'s support (the free inputs) are filled uniformly.
+    Raises if ``Fc`` is unsatisfiable.
+    """
+    if fc == FALSE:
+        raise ValueError("constraint function is unsatisfiable")
+    rng = random.Random(seed)
+    constrained_vars = sorted(mgr.support(fc), key=mgr.level_of)
+    counts: dict[int, int] = {}
+
+    def count_sats(node: int) -> int:
+        # Satisfying assignments over the constrained variables below
+        # (and including) the node's level.
+        if node == FALSE:
+            return 0
+        if node == TRUE:
+            return 1
+        if node in counts:
+            return counts[node]
+        name, lo, hi = mgr.node_info(node)
+        position = constrained_vars.index(name)
+        total = 0
+        for child in (lo, hi):
+            skipped = _skipped(mgr, child, constrained_vars, position)
+            total += count_sats(child) * 2**skipped
+        counts[node] = total
+        return total
+
+    def _sample_one() -> dict[str, int]:
+        assignment: dict[str, int] = {}
+        node = fc
+        position = 0
+        while node != TRUE:
+            name, lo, hi = mgr.node_info(node)
+            node_position = constrained_vars.index(name)
+            # Variables skipped between here and the node are free.
+            for free_var in constrained_vars[position:node_position]:
+                assignment[free_var] = rng.randint(0, 1)
+            weights = []
+            for child in (lo, hi):
+                skipped = _skipped(
+                    mgr, child, constrained_vars, node_position
+                )
+                weights.append(count_sats(child) * 2**skipped)
+            bit = rng.choices((0, 1), weights=weights)[0]
+            assignment[name] = bit
+            node = hi if bit else lo
+            position = node_position + 1
+        for free_var in constrained_vars[position:]:
+            assignment[free_var] = rng.randint(0, 1)
+        pattern = {
+            name: assignment.get(name, rng.randint(0, 1))
+            for name in circuit.inputs
+        }
+        return pattern
+
+    return [_sample_one() for _ in range(count)]
+
+
+def _skipped(
+    mgr: BddManager, child: int, constrained_vars: list, parent_position: int
+) -> int:
+    """Constrained variables jumped over on the edge to ``child``."""
+    if child in (FALSE, TRUE):
+        return len(constrained_vars) - parent_position - 1
+    child_name = mgr.top_var(child)
+    return constrained_vars.index(child_name) - parent_position - 1
+
+
+def random_coverage_curve(
+    circuit: Circuit,
+    faults: Sequence[Fault],
+    pattern_budgets: Sequence[int],
+    seed: int,
+    patterns: Sequence[dict[str, int]] | None = None,
+) -> list[tuple[int, float]]:
+    """Fault coverage after the first N patterns, for each budget.
+
+    ``patterns`` may be pre-sampled (e.g. constrained ones); otherwise
+    uniform patterns are drawn.
+    """
+    budgets = sorted(pattern_budgets)
+    if patterns is None:
+        patterns = random_patterns(circuit, budgets[-1], seed)
+    curve: list[tuple[int, float]] = []
+    for budget in budgets:
+        detected = fault_simulate(circuit, list(patterns[:budget]), faults)
+        coverage = (
+            sum(detected.values()) / len(detected) if detected else 1.0
+        )
+        curve.append((budget, coverage))
+    return curve

@@ -1,0 +1,165 @@
+"""Backtrack-free stuck-at test generation — the BDD_FTEST algebra.
+
+For a fault ``l`` s-a-``v`` the paper (section 2.2.1) characterizes the
+complete set of test vectors as the Boolean product
+
+    S  =  f_l^(v̄)  ·  Σ_o ∂PO_o/∂l  ·  Fc
+
+* ``f_l^(v̄)`` — *activation*: assignments driving line ``l`` to the
+  complement of the stuck value,
+* ``∂PO_o/∂l`` — *propagation*: the Boolean difference of output ``o``
+  with respect to the line (computed on the cut-variable form),
+* ``Fc`` — the *constraint function*: assignments the analog/conversion
+  blocks can actually produce on the converter-driven inputs (``1`` when
+  the digital block is tested stand-alone).
+
+Because ``S`` is computed algebraically, emptiness (``S = 0``) *proves*
+the fault untestable — no backtracking, no aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..bdd.manager import FALSE, TRUE
+from ..bdd.ops import minimize_path
+from ..digital.faults import Fault
+from .ckt2bdd import CircuitBdd
+
+__all__ = ["TestStatus", "TestResult", "StuckAtGenerator"]
+
+
+class TestStatus(str, Enum):
+    """Outcome of test generation for one fault."""
+
+    DETECTED = "detected"
+    UNTESTABLE = "untestable"
+    #: Testable stand-alone but killed by the analog constraints — the
+    #: quantity Table 4 tracks as the constraint-induced untestable faults.
+    CONSTRAINED_UNTESTABLE = "constrained-untestable"
+
+
+@dataclass
+class TestResult:
+    """Result of generating a test for one fault."""
+
+    fault: Fault
+    status: TestStatus
+    vector: dict[str, int] | None = None
+    #: primary outputs at which the fault effect is observable.
+    observing_outputs: tuple[str, ...] = ()
+    #: number of satisfying vectors of the (constrained) test set, when
+    #: requested — the paper's "set of test vectors S".
+    test_set_size: int | None = None
+
+
+class StuckAtGenerator:
+    """Deterministic, backtrack-free stuck-at ATPG over BDDs.
+
+    Args:
+        cbdd: compiled circuit BDDs.
+        constraint: BDD node of ``Fc`` on the same manager (``TRUE`` for
+            an unconstrained circuit).
+        count_vectors: when true, each result carries ``test_set_size``
+            (exponential-free — BDD sat-count).
+    """
+
+    def __init__(
+        self,
+        cbdd: CircuitBdd,
+        constraint: int = TRUE,
+        count_vectors: bool = False,
+    ):
+        self.cbdd = cbdd
+        self.mgr = cbdd.mgr
+        self.constraint = constraint
+        self.count_vectors = count_vectors
+        self._n_inputs = len(cbdd.circuit.inputs)
+        # Propagation is polarity-independent, so s-a-0/s-a-1 on the same
+        # site share one Boolean-difference computation.
+        self._propagation_cache: dict[
+            tuple[str, str | None, int | None], tuple[int, dict[str, int]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    def activation_function(self, fault: Fault) -> int:
+        """``f_l^(v̄)``: assignments setting the fault site to the good value."""
+        line_function = self.cbdd.line_function(fault.line)
+        if fault.stuck_value == 0:
+            return line_function
+        return self.mgr.not_(line_function)
+
+    def propagation_function(self, fault: Fault) -> tuple[int, dict[str, int]]:
+        """``Σ_o ∂PO_o/∂l`` plus the per-output Boolean differences."""
+        cache_key = (fault.line, fault.gate, fault.pin)
+        cached = self._propagation_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        pin_site = None if fault.is_stem else (fault.gate, fault.pin)
+        w, outputs = self.cbdd.functions_with_cut(fault.line, pin_site)
+        w_name = self.mgr.top_var(w)
+        per_output: dict[str, int] = {}
+        union = FALSE
+        for out, function in outputs.items():
+            diff = self.mgr.boolean_difference(function, w_name)
+            per_output[out] = diff
+            union = self.mgr.or_(union, diff)
+        self._propagation_cache[cache_key] = (union, per_output)
+        return self._propagation_cache[cache_key]
+
+    def test_set(self, fault: Fault, constrained: bool = True) -> int:
+        """The complete test-vector set ``S`` as a BDD node."""
+        activation = self.activation_function(fault)
+        if activation == FALSE:
+            return FALSE
+        propagation, _ = self.propagation_function(fault)
+        s = self.mgr.and_(activation, propagation)
+        if constrained:
+            s = self.mgr.and_(s, self.constraint)
+        return s
+
+    def generate(self, fault: Fault) -> TestResult:
+        """Generate a test for one fault, classifying untestability.
+
+        A fault with an empty constrained test set is re-checked without
+        ``Fc``: if a vector exists stand-alone the fault is
+        ``CONSTRAINED_UNTESTABLE`` (the analog block killed it), otherwise
+        it is structurally ``UNTESTABLE``.
+        """
+        activation = self.activation_function(fault)
+        if activation == FALSE:
+            return TestResult(fault, TestStatus.UNTESTABLE)
+        propagation, per_output = self.propagation_function(fault)
+        unconstrained = self.mgr.and_(activation, propagation)
+        if unconstrained == FALSE:
+            return TestResult(fault, TestStatus.UNTESTABLE)
+        s = self.mgr.and_(unconstrained, self.constraint)
+        if s == FALSE:
+            return TestResult(fault, TestStatus.CONSTRAINED_UNTESTABLE)
+        vector = minimize_path(self.mgr, s)
+        assert vector is not None
+        full_vector = self._complete(vector)
+        observing = tuple(
+            out
+            for out, diff in per_output.items()
+            if self.mgr.evaluate(self.mgr.and_(diff, s), full_vector)
+        )
+        size = None
+        if self.count_vectors:
+            size = self.mgr.sat_count(s, self._n_inputs)
+        return TestResult(
+            fault,
+            TestStatus.DETECTED,
+            vector=full_vector,
+            observing_outputs=observing,
+            test_set_size=size,
+        )
+
+    def _complete(self, partial: dict) -> dict[str, int]:
+        """Extend a partial path assignment to all primary inputs (0 fill)."""
+        vector = {name: 0 for name in self.cbdd.circuit.inputs}
+        for name, value in partial.items():
+            if name in vector:
+                vector[name] = value
+        return vector

@@ -1,0 +1,87 @@
+"""Test-vector containers and program emission.
+
+A mixed-signal test program interleaves *analog stimuli* (amplitude,
+frequency, which parameter/element they target) with *digital vectors*
+(assignments to the free primary inputs).  This module defines the shared
+record types and a plain-text emitter used by the examples and the
+experiment logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["DigitalVector", "AnalogStimulus", "MixedTestStep", "format_program"]
+
+
+@dataclass(frozen=True)
+class DigitalVector:
+    """One assignment to digital primary inputs."""
+
+    assignment: tuple[tuple[str, int], ...]
+    targets: tuple[str, ...] = ()
+
+    @classmethod
+    def from_mapping(
+        cls, assignment: Mapping[str, int], targets: Iterable[str] = ()
+    ) -> "DigitalVector":
+        """Build from a dict, normalizing order for hashability."""
+        return cls(tuple(sorted(assignment.items())), tuple(targets))
+
+    def as_dict(self) -> dict[str, int]:
+        """The assignment as a plain dict."""
+        return dict(self.assignment)
+
+    def __str__(self) -> str:
+        bits = " ".join(f"{name}={value}" for name, value in self.assignment)
+        return f"[{bits}]"
+
+
+@dataclass(frozen=True)
+class AnalogStimulus:
+    """A sinusoidal analog stimulus ``B·sin(2πft)`` (DC when f == 0)."""
+
+    amplitude: float
+    frequency_hz: float
+    description: str = ""
+
+    def __str__(self) -> str:
+        if self.frequency_hz == 0:
+            shape = f"DC level {self.amplitude:.4g} V"
+        else:
+            shape = f"{self.amplitude:.4g} V sine @ {self.frequency_hz:.4g} Hz"
+        return f"{shape}" + (f" ({self.description})" if self.description else "")
+
+
+@dataclass(frozen=True)
+class MixedTestStep:
+    """One step of a mixed-signal test program."""
+
+    #: textual identifier of the targeted fault (element/parameter or line).
+    target: str
+    stimulus: AnalogStimulus | None = None
+    vector: DigitalVector | None = None
+    #: primary output at which the fault effect is observed.
+    observe: str | None = None
+    #: expected fault-free output value at the observation point.
+    expected: int | None = None
+
+    def __str__(self) -> str:
+        parts = [f"target {self.target}"]
+        if self.stimulus is not None:
+            parts.append(f"apply {self.stimulus}")
+        if self.vector is not None:
+            parts.append(f"drive {self.vector}")
+        if self.observe is not None:
+            expected = "" if self.expected is None else f" (good = {self.expected})"
+            parts.append(f"observe {self.observe}{expected}")
+        return "; ".join(parts)
+
+
+def format_program(steps: Iterable[MixedTestStep], title: str = "test program") -> str:
+    """Human-readable rendering of a test program."""
+    lines = [f"== {title} =="]
+    for index, step in enumerate(steps, start=1):
+        lines.append(f"{index:4d}. {step}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Export BDDs in Graphviz DOT and a compact text form.
+
+Figure 6 of the paper shows the OBDDs of the two mixed-circuit outputs with
+the composite value ``D`` injected; :func:`to_dot` reproduces such pictures
+and :func:`to_text` gives an order-stable textual rendering used in tests
+and the experiment logs.
+"""
+
+from __future__ import annotations
+
+from .manager import FALSE, TRUE, BddManager
+
+__all__ = ["to_dot", "to_text"]
+
+
+def to_dot(mgr: BddManager, f: int, name: str = "bdd") -> str:
+    """Render the BDD rooted at ``f`` as a Graphviz digraph string.
+
+    Low (0) edges are dashed, high (1) edges solid, matching textbook and
+    paper figures.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    seen: set[int] = set()
+    stack = [f]
+    while stack:
+        node = stack.pop()
+        if node in seen or node in (FALSE, TRUE):
+            continue
+        seen.add(node)
+        var, lo, hi = mgr.node_info(node)
+        lines.append(f'  node{node} [label="{var}", shape=circle];')
+        lines.append(f"  node{node} -> node{lo} [style=dashed];")
+        lines.append(f"  node{node} -> node{hi} [style=solid];")
+        stack.append(lo)
+        stack.append(hi)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(mgr: BddManager, f: int) -> str:
+    """Deterministic multi-line rendering: one ``id: var ? hi : lo`` per node.
+
+    Nodes are listed in a stable depth-first order so two structurally equal
+    BDDs always print identically.
+    """
+    if f == FALSE:
+        return "const 0"
+    if f == TRUE:
+        return "const 1"
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def walk(node: int) -> str:
+        if node == FALSE:
+            return "0"
+        if node == TRUE:
+            return "1"
+        label = f"n{node}"
+        if node not in seen:
+            seen.add(node)
+            var, lo, hi = mgr.node_info(node)
+            lo_label = walk(lo)
+            hi_label = walk(hi)
+            lines.append(f"{label}: {var} ? {hi_label} : {lo_label}")
+        return label
+
+    root = walk(f)
+    return "\n".join(lines + [f"root {root}"])

@@ -1,0 +1,113 @@
+"""Higher-level BDD operations used by the test-generation algebra.
+
+These helpers sit on top of :class:`repro.bdd.manager.BddManager` and give
+names to the constructs the paper uses repeatedly: product-term constraint
+functions, smoothing over non-care variables, and picking minimum-cost
+satisfying vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from .manager import FALSE, TRUE, BddManager
+
+__all__ = [
+    "constraint_from_terms",
+    "minimize_path",
+    "project",
+    "cofactor_generalized",
+    "is_tautology",
+    "is_contradiction",
+    "equivalent",
+]
+
+
+def constraint_from_terms(
+    mgr: BddManager, terms: Iterable[Mapping[object, int]]
+) -> int:
+    """Build the paper's constraint function ``Fc`` from allowed assignments.
+
+    Each term is a partial assignment that the analog block *can* produce on
+    the converter-driven lines; ``Fc`` is their sum-of-products.  An empty
+    iterable yields ``0`` (nothing is achievable); to express "no
+    constraint" pass a single empty mapping, which yields ``1`` as in the
+    paper ("if all the assignments are allowed, Fc will be equal to 1").
+    """
+    acc = FALSE
+    for term in terms:
+        acc = mgr.or_(acc, mgr.cube(term))
+        if acc == TRUE:
+            return TRUE
+    return acc
+
+
+def minimize_path(
+    mgr: BddManager, f: int, preferred: Mapping[object, int] | None = None
+) -> dict[object, int] | None:
+    """Pick a satisfying assignment, preferring values from ``preferred``.
+
+    Used when extracting vectors so that don't-care inputs take quiescent
+    values (all zeros by default), which keeps emitted test programs stable
+    across runs.
+    """
+    if f == FALSE:
+        return None
+    preferred = dict(preferred or {})
+    assignment: dict[object, int] = {}
+    node = f
+    while node != TRUE:
+        name, lo, hi = mgr.node_info(node)
+        want = preferred.get(name, 0)
+        first, second = ((want, hi if want else lo), (1 - want, lo if want else hi))
+        if first[1] != FALSE:
+            assignment[name] = first[0]
+            node = first[1]
+        else:
+            assignment[name] = second[0]
+            node = second[1]
+    return assignment
+
+
+def project(mgr: BddManager, f: int, keep: Sequence[object]) -> int:
+    """Existentially quantify away every support variable not in ``keep``."""
+    drop = [name for name in mgr.support(f) if name not in set(keep)]
+    return mgr.exists(f, drop)
+
+
+def cofactor_generalized(mgr: BddManager, f: int, care: int) -> int:
+    """A simple generalized cofactor: restrict ``f`` to the care set.
+
+    Implemented as sequential restriction along one satisfying cube of
+    ``care`` when ``care`` is a cube, else returns ``f·care`` (sound for
+    the uses in this package, where cofactoring is an optimization only).
+    """
+    cube = mgr.any_sat(care)
+    if cube is None:
+        return FALSE
+    # Detect whether `care` is exactly the cube we extracted.
+    if mgr.cube(cube) == care:
+        g = f
+        for name, value in cube.items():
+            g = mgr.restrict(g, name, value)
+        return g
+    return mgr.and_(f, care)
+
+
+def is_tautology(f: int) -> bool:
+    """True iff ``f`` is the constant-1 function."""
+    return f == TRUE
+
+
+def is_contradiction(f: int) -> bool:
+    """True iff ``f`` is the constant-0 function."""
+    return f == FALSE
+
+
+def equivalent(f: int, g: int) -> bool:
+    """True iff two functions on the same manager are identical.
+
+    Hash-consing makes this a pointer comparison — the property the paper
+    exploits to make test generation backtrack-free.
+    """
+    return f == g

@@ -1,0 +1,51 @@
+"""The paper's circuit zoo: filters, mixed assemblies, benchmark blocks."""
+
+from .bandpass import (
+    BANDPASS_OUTPUT,
+    BANDPASS_SOURCE,
+    bandpass_filter,
+    bandpass_parameters,
+    nominal_center_frequency,
+    nominal_center_gain,
+)
+from .chebyshev import (
+    CHEBYSHEV_OUTPUT,
+    CHEBYSHEV_SOURCE,
+    chebyshev_filter,
+    chebyshev_parameters,
+)
+from .state_variable import (
+    SV_OUTPUTS,
+    SV_SOURCE,
+    state_variable_filter,
+    state_variable_parameters,
+)
+from .fig3 import FIG3_CONSTRAINT_LINES, fig3_circuit, fig4_mixed_circuit
+from .benchmarks import (
+    TABLE4_CIRCUITS,
+    benchmark_digital,
+    example3_mixed_circuit,
+)
+
+__all__ = [
+    "bandpass_filter",
+    "bandpass_parameters",
+    "nominal_center_frequency",
+    "nominal_center_gain",
+    "BANDPASS_SOURCE",
+    "BANDPASS_OUTPUT",
+    "chebyshev_filter",
+    "chebyshev_parameters",
+    "CHEBYSHEV_SOURCE",
+    "CHEBYSHEV_OUTPUT",
+    "state_variable_filter",
+    "state_variable_parameters",
+    "SV_SOURCE",
+    "SV_OUTPUTS",
+    "fig3_circuit",
+    "fig4_mixed_circuit",
+    "FIG3_CONSTRAINT_LINES",
+    "TABLE4_CIRCUITS",
+    "benchmark_digital",
+    "example3_mixed_circuit",
+]

@@ -1,0 +1,92 @@
+"""The paper's Figure 2: second-order band-pass filter (Example 1).
+
+Realized as a Tow-Thomas biquad — three op-amps, eight passive elements
+named exactly as in the paper: {R1, R2, R3, R4, Rg, Rd, C1, C2}.  The
+analytic transfer function at the band-pass output is
+
+    H(s) = −(s / (Rg·C1)) / (s² + s/(Rd·C1) + R4/(R3·R1·R2·C1·C2))
+
+which gives the structural dependencies the paper's Example 1 matrix
+shows: the center-frequency gain ``A1 = Rd/Rg`` depends **only** on
+``Rd`` and ``Rg`` (their E.D. ≈ 10 %, everything else a structural zero),
+while the center frequency depends on R1–R4, C1, C2 but not on Rg/Rd.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analog import PerformanceParameter, standard_filter_parameters
+from ..spice import AnalogCircuit
+
+__all__ = [
+    "bandpass_filter",
+    "bandpass_parameters",
+    "BANDPASS_SOURCE",
+    "BANDPASS_OUTPUT",
+    "nominal_center_frequency",
+    "nominal_center_gain",
+]
+
+BANDPASS_SOURCE = "Vin"
+BANDPASS_OUTPUT = "V1"
+
+#: Design targets: f0 = 2.5 kHz, center gain 2, Q = 2.
+_R = 6366.2  # 1/(2π·2.5kHz·10nF)
+_C = 10e-9
+_Q = 2.0
+_GAIN = 2.0
+
+
+def bandpass_filter(name: str = "fig2-bandpass") -> AnalogCircuit:
+    """Build the Figure 2 band-pass biquad at its nominal design point.
+
+    Topology (Tow-Thomas):
+
+    * A1 — lossy inverting integrator: input ``Rg``, feedback ``Rd ∥ C1``;
+      its output ``V1`` is the band-pass response.
+    * A2 — inverting integrator ``R2``/``C2`` producing the low-pass ``V2``.
+    * A3 — unity inverter ``R3``/``R4``.
+    * global feedback through ``R1`` back into A1's summing node.
+    """
+    c = AnalogCircuit(name)
+    c.vsource(BANDPASS_SOURCE, "in", "0", ac=1.0)
+    # A1: summing lossy integrator.
+    c.resistor("Rg", "in", "n1", _R / _GAIN * _Q)  # center gain = Rd/Rg
+    c.resistor("Rd", "n1", "V1", _Q * _R)  # damping: Q = Rd/R
+    c.capacitor("C1", "n1", "V1", _C)
+    c.resistor("R1", "V3", "n1", _R)  # global feedback
+    c.opamp("A1", "0", "n1", "V1")
+    # A2: inverting integrator.
+    c.resistor("R2", "V1", "n2", _R)
+    c.capacitor("C2", "n2", "V2", _C)
+    c.opamp("A2", "0", "n2", "V2")
+    # A3: unity inverter.
+    c.resistor("R3", "V2", "n3", _R)
+    c.resistor("R4", "n3", "V3", _R)
+    c.opamp("A3", "0", "n3", "V3")
+    return c
+
+
+def bandpass_parameters() -> list[PerformanceParameter]:
+    """Example 1's five parameters: A1, A2 (10 kHz), f0, fc1, fc2."""
+    return standard_filter_parameters(
+        BANDPASS_SOURCE,
+        BANDPASS_OUTPUT,
+        ac_frequency_hz=10_000.0,
+        f_low=50.0,
+        f_high=2.0e5,
+        band_pass=True,
+    )
+
+
+def nominal_center_frequency() -> float:
+    """Analytic f0 = (1/2π)·√(R4/(R3·R1·R2·C1·C2)) of the nominal design."""
+    return (1.0 / (2.0 * math.pi)) * math.sqrt(
+        (_R / _R) / (_R * _R * _C * _C)
+    )
+
+
+def nominal_center_gain() -> float:
+    """Analytic |H(jω0)| = Rd/Rg of the nominal design."""
+    return _GAIN

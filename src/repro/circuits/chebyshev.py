@@ -1,0 +1,104 @@
+"""The paper's Figure 7: fifth-order low-pass Chebyshev filter (Example 3).
+
+Realized as three cascaded active blocks with the figure's element budget
+of twelve resistors and five capacitors:
+
+* **block 1** — first-order inverting low-pass: ``R1`` in, ``R2 ∥ C1``
+  feedback;
+* **block 2** — second-order multiple-feedback (MFB) low-pass section:
+  ``R3`` (in), ``R4`` (feedback), ``R5`` (to the virtual ground), ``C2``
+  (shunt), ``C3`` (feedback);
+* **block 3** — second MFB section: ``R6``, ``R7``, ``R8``, ``C4``,
+  ``C5``;
+* **output stage** — inverting gain trim ``R9``/``R10`` and an output
+  divider ``R11``/``R12`` (the figure's remaining resistors).
+
+Stage Q's follow a 0.5 dB Chebyshev alignment around a 10 kHz pass-band.
+The element of interest for Table 3's shape is ``R5``: it sits between
+the MFB shunt node and the virtual ground, where feedback desensitizes
+the DC gain — its worst-case testable deviation is an outlier (the
+paper's 113 %).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analog import ParameterKind, PerformanceParameter
+from ..spice import AnalogCircuit
+
+__all__ = [
+    "chebyshev_filter",
+    "chebyshev_parameters",
+    "CHEBYSHEV_SOURCE",
+    "CHEBYSHEV_OUTPUT",
+]
+
+CHEBYSHEV_SOURCE = "Vin"
+CHEBYSHEV_OUTPUT = "Vo"
+
+_F_CUT = 10_000.0  # pass-band edge target, Hz
+
+
+def chebyshev_filter(name: str = "fig7-chebyshev") -> AnalogCircuit:
+    """Build the fifth-order Chebyshev low-pass at its nominal design."""
+    c = AnalogCircuit(name)
+    c.vsource(CHEBYSHEV_SOURCE, "in", "0", ac=1.0)
+
+    # Block 1: first-order section, pole at ~2.9 kHz (Chebyshev real pole).
+    c.resistor("R1", "in", "x1", 10_000.0)
+    c.resistor("R2", "x1", "v1", 10_000.0)
+    c.capacitor("C1", "x1", "v1", 5.5e-9)
+    c.opamp("A1", "0", "x1", "v1")
+
+    # Block 2: MFB section, f ≈ 6.4 kHz, moderate Q.
+    c.resistor("R3", "v1", "m2", 10_000.0)
+    c.resistor("R4", "m2", "v2", 10_000.0)
+    c.resistor("R5", "m2", "x2", 4_700.0)
+    c.capacitor("C2", "m2", "0", 10.0e-9)
+    c.capacitor("C3", "x2", "v2", 1.0e-9)
+    c.opamp("A2", "0", "x2", "v2")
+
+    # Block 3: MFB section, f ≈ 9.8 kHz, higher Q (band-edge peaking).
+    c.resistor("R6", "v2", "m3", 12_000.0)
+    c.resistor("R7", "m3", "v3", 12_000.0)
+    c.resistor("R8", "m3", "x3", 3_300.0)
+    c.capacitor("C4", "m3", "0", 15.0e-9)
+    c.capacitor("C5", "x3", "v3", 0.47e-9)
+    c.opamp("A3", "0", "x3", "v3")
+
+    # Output stage: unity inverter plus divider.
+    c.resistor("R9", "v3", "x4", 10_000.0)
+    c.resistor("R10", "x4", "v4", 10_000.0)
+    c.opamp("A4", "0", "x4", "v4")
+    c.resistor("R11", "v4", CHEBYSHEV_OUTPUT, 10_000.0)
+    c.resistor("R12", CHEBYSHEV_OUTPUT, "0", 100_000.0)
+    return c
+
+
+def chebyshev_parameters(
+    output: str = CHEBYSHEV_OUTPUT,
+) -> list[PerformanceParameter]:
+    """Table 3's measurable set: Adc, fc and the gains A1..A5.
+
+    ``A1``…``A5`` are AC gains sampled across the pass-band and the knee
+    (2, 5, 8, 12 and 20 kHz); ``fc`` is the −3 dB cut-off referenced to
+    the DC gain.
+    """
+    parameters = [
+        PerformanceParameter(
+            "Adc", ParameterKind.DC_GAIN, CHEBYSHEV_SOURCE, output
+        ),
+        PerformanceParameter(
+            "fc", ParameterKind.CUTOFF_HIGH, CHEBYSHEV_SOURCE, output,
+            f_low=100.0, f_high=1.0e6,
+        ),
+    ]
+    for index, frequency in enumerate((2_000.0, 5_000.0, 8_000.0, 12_000.0, 20_000.0)):
+        parameters.append(
+            PerformanceParameter(
+                f"A{index + 1}", ParameterKind.AC_GAIN,
+                CHEBYSHEV_SOURCE, output, frequency_hz=frequency,
+            )
+        )
+    return parameters

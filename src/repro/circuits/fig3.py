@@ -1,0 +1,47 @@
+"""The paper's Figures 3/4 mixed circuit (Example 2 and section 2.3).
+
+Figure 4's mixed circuit: the Figure 2 band-pass filter, a two-comparator
+conversion block on the analog output, and the Figure 3 digital circuit
+whose lines ``l0``/``l2`` are the comparator outputs and ``l1``/``l4``
+are free primary inputs.
+"""
+
+from __future__ import annotations
+
+from ..conversion import FlashAdc
+from ..core import MixedSignalCircuit
+from ..digital.library import fig3_circuit
+from .bandpass import (
+    BANDPASS_OUTPUT,
+    BANDPASS_SOURCE,
+    bandpass_filter,
+    bandpass_parameters,
+)
+
+__all__ = ["fig3_circuit", "fig4_mixed_circuit", "FIG3_CONSTRAINT_LINES"]
+
+#: the comparator-driven lines of the Figure 3 circuit (threshold order).
+FIG3_CONSTRAINT_LINES = ["l0", "l2"]
+
+
+def fig4_mixed_circuit(name: str = "fig4-mixed") -> MixedSignalCircuit:
+    """Assemble the paper's Figure 4 mixed-signal circuit.
+
+    The conversion block is a two-comparator bank whose thresholds split
+    the filter's output range (the filter has center gain 2, so a 1 V
+    stimulus peaks at 2 V).  ``l0`` sees the lower threshold, ``l2`` the
+    higher — the thermometer constraint over them is ``Fc`` with the
+    ``l0 = l2 = 0`` assignment unreachable whenever the stimulus keeps
+    the output above the lower threshold, and the paper's ``Fc = l0 +
+    l2`` in its test-program regime.
+    """
+    return MixedSignalCircuit(
+        name=name,
+        analog=bandpass_filter(),
+        analog_source=BANDPASS_SOURCE,
+        analog_output=BANDPASS_OUTPUT,
+        adc=FlashAdc(n_comparators=2, v_top=5.0),
+        digital=fig3_circuit(),
+        converter_lines=list(FIG3_CONSTRAINT_LINES),
+        parameters=bandpass_parameters(),
+    )

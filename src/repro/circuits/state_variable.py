@@ -1,0 +1,111 @@
+"""The paper's Figure 8 analog block: a state-variable (KHN) filter.
+
+Three op-amps produce simultaneous high-pass (``V1``), band-pass (``V2``)
+and low-pass (``V3``) responses; an auxiliary divider ``R8``/``R9`` taps
+``V3`` into ``V3p`` — the path behind the paper's ``A3'`` measurement
+(its board switches that path in when ``Vin`` is below a threshold; in
+the linear model it is a separate observable output).  The twelfth
+element ``R`` is the input series resistor, which dominates the high
+cut-off measured at ``V1`` (the paper's ``fh1`` row).
+
+Element roster (matching Table 8's components): R, R1..R9, C1, C2.
+"""
+
+from __future__ import annotations
+
+from ..analog import ParameterKind, PerformanceParameter
+from ..spice import AnalogCircuit
+
+__all__ = [
+    "state_variable_filter",
+    "state_variable_parameters",
+    "SV_SOURCE",
+    "SV_OUTPUTS",
+]
+
+SV_SOURCE = "Vin"
+#: the three filter outputs plus the divider tap.
+SV_OUTPUTS = ("V1", "V2", "V3", "V3p")
+
+_R_INT = 10_000.0  # integrator resistors
+_C_INT = 10e-9     # integrator capacitors -> f0 = 1.59 kHz
+
+
+def state_variable_filter(name: str = "fig8-state-variable") -> AnalogCircuit:
+    """Build the KHN state-variable filter at its nominal design point.
+
+    * A1 — summing amplifier: ``V1 = -(Vin·R3/R1') - V3·(R3/R2') + V2·k``
+      realized with ``R1`` (input), ``R2`` (low-pass feedback), ``R3``
+      (local feedback) on the inverting input and the band-pass feedback
+      through the ``R4``/``R5`` divider on the non-inverting input
+      (which sets the Q);
+    * A2 — inverting integrator ``R6``/``C1``: ``V2`` (band-pass);
+    * A3 — inverting integrator ``R7``/``C2``: ``V3`` (low-pass);
+    * ``R8``/``R9`` — output divider: ``V3p``;
+    * ``R`` — input series resistor (with the summing node it forms the
+      first-order roll-off measured as ``fh1``).
+    """
+    c = AnalogCircuit(name)
+    c.vsource(SV_SOURCE, "in", "0", ac=1.0)
+    c.resistor("R", "in", "ina", 1_000.0)
+    # A1 inverting input network.
+    c.resistor("R1", "ina", "s1", 10_000.0)
+    c.resistor("R2", "V3", "s1", 10_000.0)
+    c.resistor("R3", "s1", "V1", 10_000.0)
+    # Band-pass feedback to the non-inverting input through R4/R5.
+    c.resistor("R4", "V2", "p1", 10_000.0)
+    c.resistor("R5", "p1", "0", 5_600.0)
+    # A1 uses the single-pole macromodel: its finite gain-bandwidth gives
+    # the high-pass output V1 the measurable high cut-off fh1 (on the
+    # paper's board this comes from the real op-amps).  The closed-loop
+    # bandwidth depends on the feedback network *and* the source
+    # impedance R, which is how fh1 tests the input resistor.
+    c.finite_opamp("A1", "p1", "s1", "V1", gain=2.0e5, gbw=1.0e6)
+    # A2: integrator (band-pass output).
+    c.resistor("R6", "V1", "s2", _R_INT)
+    c.capacitor("C1", "s2", "V2", _C_INT)
+    c.opamp("A2", "0", "s2", "V2")
+    # A3: integrator (low-pass output).
+    c.resistor("R7", "V2", "s3", _R_INT)
+    c.capacitor("C2", "s3", "V3", _C_INT)
+    c.opamp("A3", "0", "s3", "V3")
+    # Auxiliary divider (the A3' path).
+    c.resistor("R8", "V3", "V3p", 4_700.0)
+    c.resistor("R9", "V3p", "0", 10_000.0)
+    return c
+
+
+def state_variable_parameters() -> list[PerformanceParameter]:
+    """The board's measured set (paper section 3.1).
+
+    ``A1dc``/``A2dc``/``A3dc``/``A3'dc`` are low-frequency gains at the
+    four outputs (the band-pass/high-pass outputs are measured at 40 Hz
+    where their small-but-finite gains give well-defined relative boxes),
+    ``A1``/``A2`` are 10 kHz AC gains at V1/V2, and ``fh1`` is the high
+    cut-off at the high-pass output ``V1``.
+    """
+    low_f = 40.0
+    return [
+        PerformanceParameter(
+            "A1dc", ParameterKind.AC_GAIN, SV_SOURCE, "V1", frequency_hz=low_f
+        ),
+        PerformanceParameter(
+            "A2dc", ParameterKind.AC_GAIN, SV_SOURCE, "V2", frequency_hz=low_f
+        ),
+        PerformanceParameter(
+            "A3dc", ParameterKind.DC_GAIN, SV_SOURCE, "V3"
+        ),
+        PerformanceParameter(
+            "A3pdc", ParameterKind.DC_GAIN, SV_SOURCE, "V3p"
+        ),
+        PerformanceParameter(
+            "A1", ParameterKind.AC_GAIN, SV_SOURCE, "V1", frequency_hz=10_000.0
+        ),
+        PerformanceParameter(
+            "A2", ParameterKind.AC_GAIN, SV_SOURCE, "V2", frequency_hz=10_000.0
+        ),
+        PerformanceParameter(
+            "fh1", ParameterKind.CUTOFF_HIGH, SV_SOURCE, "V1",
+            f_low=100.0, f_high=5.0e6,
+        ),
+    ]

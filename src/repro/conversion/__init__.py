@@ -1,0 +1,34 @@
+"""A/D conversion block: flash ladder, constraints, element testing."""
+
+from .flash_adc import FlashAdc
+from .constraints import (
+    constraint_for_lines,
+    pair_exclusion_constraint,
+    random_line_assignment,
+    thermometer_constraint,
+    thermometer_terms,
+)
+from .ladder_test import (
+    LadderCoverage,
+    constrained_ladder_coverage,
+    ladder_coverage,
+    tap_sensitivity,
+)
+from .encoder import popcount_encoder, transition_encoder
+from .behavioural import BehaviouralAdc
+
+__all__ = [
+    "FlashAdc",
+    "thermometer_constraint",
+    "thermometer_terms",
+    "constraint_for_lines",
+    "random_line_assignment",
+    "pair_exclusion_constraint",
+    "tap_sensitivity",
+    "LadderCoverage",
+    "ladder_coverage",
+    "constrained_ladder_coverage",
+    "popcount_encoder",
+    "transition_encoder",
+    "BehaviouralAdc",
+]

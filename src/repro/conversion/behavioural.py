@@ -1,0 +1,60 @@
+"""Behavioural N-bit A/D converter (the Figure 8 board's AD7820).
+
+The paper's validation board converts the filter output with an 8-bit
+half-flash ADC before the 4-bit adder.  For the reproduction only the
+produced code matters, so the converter is behavioural: uniform
+quantization with configurable range, resolution and an optional offset/
+gain error (its own injectable faults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BehaviouralAdc"]
+
+
+@dataclass
+class BehaviouralAdc:
+    """A uniform-quantizer ADC model.
+
+    Attributes:
+        bits: resolution.
+        v_low / v_high: input range; inputs clip to it.
+        offset_error_lsb: injectable offset fault, in LSBs.
+        gain_error: injectable multiplicative gain fault (0.02 = +2 %).
+    """
+
+    bits: int = 8
+    v_low: float = 0.0
+    v_high: float = 5.0
+    offset_error_lsb: float = 0.0
+    gain_error: float = 0.0
+
+    @property
+    def levels(self) -> int:
+        """Number of output codes."""
+        return 2**self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Input-referred LSB size in volts."""
+        return (self.v_high - self.v_low) / self.levels
+
+    def convert(self, v_in: float) -> int:
+        """Quantize one sample to an integer code (clipping at range)."""
+        value = v_in * (1.0 + self.gain_error)
+        code = int((value - self.v_low) / self.lsb + self.offset_error_lsb)
+        return max(0, min(self.levels - 1, code))
+
+    def convert_bits(self, v_in: float, msb_first: bool = False) -> list[int]:
+        """The code as a bit list (LSB first by default)."""
+        code = self.convert(v_in)
+        bits = [(code >> i) & 1 for i in range(self.bits)]
+        if msb_first:
+            bits.reverse()
+        return bits
+
+    def midpoint(self, code: int) -> float:
+        """Input voltage at the center of a code bin (for reconstruction)."""
+        return self.v_low + (code + 0.5) * self.lsb

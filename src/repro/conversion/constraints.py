@@ -1,0 +1,101 @@
+"""Constraint functions ``Fc`` induced by the conversion block.
+
+"The digital circuit inputs connected to the analog block must take
+assignments that can be obtained by controlling the analog signal.  These
+assignments are represented by a boolean function called Fc."  For a
+flash converter the achievable assignments are exactly the thermometer
+codes, so on lines ``l1..lk`` (ascending thresholds)
+
+    Fc = ∏_{i<k} ( l_{i+1} → l_i )
+
+— if a higher-threshold comparator is on, every lower one must be on.
+``Fc`` has k+1 satisfying assignments out of 2^k, which is why analog
+coupling makes digital blocks so much harder to test (Table 4).
+
+The paper's Example 3 assigns converter outputs to digital inputs
+*randomly* when the digital block has more inputs than the converter has
+outputs; :func:`random_line_assignment` reproduces that with a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from ..bdd import BddManager
+from ..bdd.manager import TRUE
+
+__all__ = [
+    "thermometer_constraint",
+    "thermometer_terms",
+    "constraint_for_lines",
+    "random_line_assignment",
+    "pair_exclusion_constraint",
+]
+
+
+def thermometer_constraint(mgr: BddManager, lines: Sequence[str]) -> int:
+    """Build the thermometer-code BDD over ``lines`` (lowest threshold first)."""
+    fc = TRUE
+    for lower, upper in zip(lines, lines[1:]):
+        fc = mgr.and_(fc, mgr.implies(mgr.var(upper), mgr.var(lower)))
+    return fc
+
+
+def thermometer_terms(lines: Sequence[str]) -> list[dict[str, int]]:
+    """The k+1 allowed assignments as explicit product terms."""
+    terms: list[dict[str, int]] = []
+    for level in range(len(lines) + 1):
+        terms.append(
+            {
+                line: (1 if index < level else 0)
+                for index, line in enumerate(lines)
+            }
+        )
+    return terms
+
+
+def constraint_for_lines(
+    lines: Sequence[str],
+) -> Callable[[BddManager], int]:
+    """A constraint *builder* suitable for :func:`repro.atpg.run_atpg`."""
+    frozen = list(lines)
+
+    def build(mgr: BddManager) -> int:
+        return thermometer_constraint(mgr, frozen)
+
+    return build
+
+
+def random_line_assignment(
+    input_names: Sequence[str], n_converter_outputs: int, seed: int
+) -> list[str]:
+    """Pick which digital inputs the converter drives (paper: "randomly").
+
+    Returns the chosen input names in threshold order (first name is the
+    lowest-threshold comparator).  Deterministic in ``seed``.
+    """
+    if n_converter_outputs > len(input_names):
+        raise ValueError(
+            f"cannot drive {n_converter_outputs} lines from "
+            f"{len(input_names)} inputs"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(list(input_names), n_converter_outputs)
+    return chosen
+
+
+def pair_exclusion_constraint(
+    line_a: str, line_b: str
+) -> Callable[[BddManager], int]:
+    """``Fc = a + b`` — the Example 2 constraint (both-zero unreachable).
+
+    Two comparators sharing one analog input with staggered thresholds
+    can produce 01, 10, 11 but never 00 (or the symmetric case); the
+    paper's Figure 3 example uses exactly this.
+    """
+
+    def build(mgr: BddManager) -> int:
+        return mgr.or_(mgr.var(line_a), mgr.var(line_b))
+
+    return build

@@ -1,0 +1,97 @@
+"""Thermometer→binary encoder as a gate-level netlist.
+
+The paper's Figure 4/8 converters feed the digital block directly with
+comparator outputs, but a full converter usually encodes the thermometer
+code into binary.  The encoder is provided as an ordinary
+:class:`repro.digital.Circuit` so it can be tested (and constrained) by
+the same ATPG machinery — it is also a convenient realistic digital
+workload whose inputs are *completely* constraint-bound.
+"""
+
+from __future__ import annotations
+
+from ..digital.netlist import Circuit
+
+__all__ = ["popcount_encoder", "transition_encoder"]
+
+
+def popcount_encoder(n_inputs: int, name: str = "popcount") -> Circuit:
+    """Binary population count of ``n_inputs`` thermometer lines.
+
+    For a valid thermometer code the population count *is* the binary
+    code.  Built as a tree of full/half adders; inputs ``T0..`` (lowest
+    threshold first), outputs ``B0..`` (LSB first).
+    """
+    c = Circuit(name)
+    lines = [c.add_input(f"T{i}") for i in range(n_inputs)]
+    tag = [0]
+
+    def fresh(prefix: str) -> str:
+        tag[0] += 1
+        return f"{prefix}{tag[0]}"
+
+    def half_adder(a: str, b: str) -> tuple[str, str]:
+        s = fresh("hs")
+        carry = fresh("hc")
+        c.xor(s, a, b)
+        c.and_(carry, a, b)
+        return s, carry
+
+    def full_adder(a: str, b: str, cin: str) -> tuple[str, str]:
+        p = fresh("fp")
+        s = fresh("fs")
+        g1 = fresh("fg")
+        g2 = fresh("fh")
+        carry = fresh("fc")
+        c.xor(p, a, b)
+        c.xor(s, p, cin)
+        c.and_(g1, a, b)
+        c.and_(g2, p, cin)
+        c.or_(carry, g1, g2)
+        return s, carry
+
+    # Column-compression (Wallace-style) popcount: weight->list of bits.
+    columns: dict[int, list[str]] = {0: list(lines)}
+    while any(len(bits) > 1 for bits in columns.values()):
+        next_columns: dict[int, list[str]] = {}
+        for weight in sorted(columns):
+            bits = columns[weight]
+            index = 0
+            while len(bits) - index >= 3:
+                s, carry = full_adder(bits[index], bits[index + 1], bits[index + 2])
+                next_columns.setdefault(weight, []).append(s)
+                next_columns.setdefault(weight + 1, []).append(carry)
+                index += 3
+            if len(bits) - index == 2:
+                s, carry = half_adder(bits[index], bits[index + 1])
+                next_columns.setdefault(weight, []).append(s)
+                next_columns.setdefault(weight + 1, []).append(carry)
+            elif len(bits) - index == 1:
+                next_columns.setdefault(weight, []).append(bits[index])
+        columns = next_columns
+    for weight in sorted(columns):
+        out = f"B{weight}"
+        c.buf(out, columns[weight][0])
+        c.add_output(out)
+    c.validate()
+    return c
+
+
+def transition_encoder(n_inputs: int, name: str = "transition") -> Circuit:
+    """One-hot transition detector: ``Hi = Ti AND NOT T{i+1}``.
+
+    Finds the 1→0 boundary of a thermometer code (the classic flash-ADC
+    first encoding stage).  Outputs ``H0..H{n-1}``; on a valid code
+    exactly one output is high (or none, for the all-zero code).
+    """
+    c = Circuit(name)
+    lines = [c.add_input(f"T{i}") for i in range(n_inputs)]
+    for i, line in enumerate(lines):
+        if i + 1 < len(lines):
+            c.not_(f"N{i}", lines[i + 1])
+            c.and_(f"H{i}", line, f"N{i}")
+        else:
+            c.buf(f"H{i}", line)
+        c.add_output(f"H{i}")
+    c.validate()
+    return c

@@ -1,0 +1,146 @@
+"""Fault-injection campaign: score a generated test program.
+
+The paper validates its method by injecting faults on a board and
+checking that the generated tests catch them (section 3.1).  This module
+industrializes that: given a mixed circuit and the generator's report,
+it injects a seeded population of analog parametric faults — at and
+around the computed worst-case deviations — executes the emitted
+program against each faulty circuit, and reports detection rates.
+
+This is the end-to-end figure of merit for the whole method: a recipe
+is only as good as its behaviour on faults it has never seen.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..analog import parametric
+from ..digital.simulate import simulate
+from .coverage import MixedTestReport
+from .mixed_circuit import MixedSignalCircuit
+
+__all__ = ["InjectionOutcome", "CampaignResult", "run_campaign"]
+
+
+@dataclass
+class InjectionOutcome:
+    """One injected fault and whether the program caught it."""
+
+    element: str
+    deviation: float
+    #: deviation / guaranteed-detectable deviation (>1 = must catch).
+    severity: float
+    detected: bool
+    detecting_target: str | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate campaign statistics."""
+
+    outcomes: list[InjectionOutcome] = field(default_factory=list)
+
+    @property
+    def n_injected(self) -> int:
+        """Total faults injected."""
+        return len(self.outcomes)
+
+    def detection_rate(self, min_severity: float = 0.0) -> float:
+        """Detected / injected among faults at or above a severity."""
+        eligible = [
+            o for o in self.outcomes if o.severity >= min_severity
+        ]
+        if not eligible:
+            return 1.0
+        return sum(o.detected for o in eligible) / len(eligible)
+
+    @property
+    def guaranteed_detection_rate(self) -> float:
+        """Detection rate over faults beyond their computed E.D.
+
+        The method's promise: this should be 1.0.
+        """
+        return self.detection_rate(min_severity=1.05)
+
+    def summary(self) -> str:
+        """One-paragraph recap."""
+        return (
+            f"{self.n_injected} faults injected; "
+            f"{self.detection_rate():.1%} overall detection, "
+            f"{self.guaranteed_detection_rate:.1%} beyond the computed "
+            f"worst-case deviation"
+        )
+
+
+def _step_detects(
+    mixed: MixedSignalCircuit,
+    test,
+    element: str,
+    deviation: float,
+) -> bool:
+    """Execute one program step against one injected analog fault."""
+    frequency = test.stimulus.frequency_hz
+    amplitude = test.stimulus.amplitude
+    good_code = mixed.converter_code(frequency, amplitude)
+    with mixed.analog.with_deviations({element: deviation}):
+        faulty_code = mixed.converter_code(frequency, amplitude)
+    if faulty_code == good_code:
+        return False
+    assignment_good = dict(test.vector)
+    assignment_faulty = dict(test.vector)
+    for line, good, faulty in zip(
+        mixed.converter_lines, good_code, faulty_code
+    ):
+        assignment_good[line] = good
+        assignment_faulty[line] = faulty
+    good_outputs = simulate(mixed.digital, assignment_good)
+    faulty_outputs = simulate(mixed.digital, assignment_faulty)
+    return any(
+        good_outputs[o] != faulty_outputs[o] for o in mixed.digital.outputs
+    )
+
+
+def run_campaign(
+    mixed: MixedSignalCircuit,
+    report: MixedTestReport,
+    faults_per_element: int = 6,
+    severity_range: tuple[float, float] = (0.5, 3.0),
+    seed: int = 2024,
+) -> CampaignResult:
+    """Inject seeded analog faults and execute the emitted program.
+
+    For each analog element with a test recipe, ``faults_per_element``
+    deviations are drawn with severities (multiples of the element's
+    computed E.D.) uniform in ``severity_range``, both directions.  Every
+    program step is tried against every fault — any step may catch it.
+    """
+    rng = random.Random(seed)
+    testable = [t for t in report.analog_tests if t.testable]
+    result = CampaignResult()
+    for test in testable:
+        ed = test.ed_percent / 100.0
+        for _ in range(faults_per_element):
+            severity = rng.uniform(*severity_range)
+            direction = rng.choice((+1.0, -1.0))
+            deviation = direction * severity * ed
+            if deviation <= -0.95:
+                deviation = -0.95  # keep element values positive
+            detected = False
+            detecting = None
+            for step in testable:
+                if _step_detects(mixed, step, test.element, deviation):
+                    detected = True
+                    detecting = step.element
+                    break
+            result.outcomes.append(
+                InjectionOutcome(
+                    element=test.element,
+                    deviation=deviation,
+                    severity=severity,
+                    detected=detected,
+                    detecting_target=detecting,
+                )
+            )
+    return result

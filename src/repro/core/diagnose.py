@@ -1,0 +1,109 @@
+"""Fault diagnosis from mixed-signal test-program observations.
+
+The generator's program is built fault-by-fault, so its pass/fail
+signature inverts naturally into diagnosis: each program step targets one
+element through one parameter and one comparator, but a deviation in a
+*different* element sharing that parameter's dependence can fail the same
+step.  Given the set of failing steps, the candidate set is the
+intersection of each failing step's *suspects* (elements the step's
+parameter depends on) minus elements exonerated by passing steps that
+would have caught them.
+
+This is the classic dictionary-based diagnosis specialized to the
+paper's analog test programs; it is what a test engineer would run on a
+returned board after the Table 8 style screening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analog import SensitivityMatrix
+from .coverage import MixedTestReport
+
+__all__ = ["Diagnosis", "build_dictionary", "diagnose"]
+
+
+@dataclass
+class Diagnosis:
+    """Candidate faulty elements consistent with the observations."""
+
+    #: elements consistent with every failing and passing observation.
+    candidates: list[str]
+    #: elements implicated by failing steps but exonerated by passes.
+    exonerated: list[str] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> bool:
+        """True when diagnosis narrowed to a single element."""
+        return len(self.candidates) == 1
+
+
+def build_dictionary(
+    report: MixedTestReport,
+    sensitivities: SensitivityMatrix,
+    threshold: float = 5e-3,
+) -> dict[str, set[str]]:
+    """Map each program step (by target element) to its suspect set.
+
+    A step measuring parameter ``T`` implicates every element whose
+    normalized sensitivity |S(T, x)| exceeds ``threshold`` — those are
+    the elements whose deviation can move ``T`` across the comparator.
+    """
+    dictionary: dict[str, set[str]] = {}
+    for test in report.analog_tests:
+        if not test.testable or test.parameter is None:
+            continue
+        suspects = {
+            element
+            for element in sensitivities.elements
+            if abs(sensitivities.of(test.parameter, element)) > threshold
+        }
+        dictionary[test.element] = suspects
+    return dictionary
+
+
+def diagnose(
+    report: MixedTestReport,
+    sensitivities: SensitivityMatrix,
+    failing_steps: set[str],
+    threshold: float = 5e-3,
+) -> Diagnosis:
+    """Infer candidate faulty elements from step pass/fail outcomes.
+
+    Args:
+        report: the generator report whose program was executed.
+        sensitivities: the analog block's sensitivity matrix.
+        failing_steps: target elements of the steps that failed on the
+            unit under test (step identity = its target element).
+
+    Returns:
+        a :class:`Diagnosis`; with an empty ``failing_steps`` every
+        element covered by a passing step is exonerated and the
+        candidate list is empty (a clean unit).
+    """
+    dictionary = build_dictionary(report, sensitivities, threshold)
+    unknown = failing_steps - set(dictionary)
+    if unknown:
+        raise ValueError(f"no program steps target {sorted(unknown)}")
+    candidates: set[str] | None = None
+    for step in failing_steps:
+        suspects = dictionary[step]
+        candidates = suspects if candidates is None else candidates & suspects
+    if candidates is None:
+        candidates = set()
+    exonerated: set[str] = set()
+    for step, suspects in dictionary.items():
+        if step in failing_steps:
+            continue
+        # A passing step exonerates the elements it would have caught —
+        # but only those it tests *tightly* (its own target certainly).
+        exonerated.add(step)
+    survivors = candidates - exonerated
+    # If exoneration killed everything, fall back to the raw intersection
+    # (a marginal fault can pass a loose step).
+    final = survivors if survivors else candidates
+    return Diagnosis(
+        candidates=sorted(final),
+        exonerated=sorted(candidates & exonerated),
+    )

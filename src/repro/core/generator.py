@@ -1,0 +1,246 @@
+"""The mixed-signal test generator — the paper's automated procedure.
+
+Section 2.3 closes with the automation recipe this class implements:
+
+    "To obtain a test vector for an element of an analog circuit ...
+    for each element, the parameter that is the most sensitive to a
+    deviation in the element is taken.  Using Table 1, we find an analog
+    signal that will activate the fault ... when all the cases that
+    allow to have D or D̄ at one of the primary outputs of the
+    conversion block have been tried, and the fault cannot be propagated
+    through the digital block ... we look for another parameter from the
+    parameter set.  When all the parameters of the element have been
+    studied without success, any deviation in this element cannot be
+    seen at any primary output of the mixed circuit."
+
+Plus the two companion analyses: per-comparator composite-value
+observability (Table 5) and the digital block's constrained ATPG run
+(Table 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analog import (
+    AnalogFault,
+    DeviationMatrix,
+    SensitivityMatrix,
+    parametric,
+    sensitivity_matrix,
+    worst_case_deviation,
+)
+from ..atpg import CompositeValue, propagate_composite, run_atpg
+from ..conversion import constrained_ladder_coverage
+from .activation import activate
+from .coverage import AnalogElementTest, AnalogTestStatus, MixedTestReport
+from .mixed_circuit import MixedSignalCircuit
+from .stimulus import Bound, choose_stimulus
+
+__all__ = ["MixedSignalTestGenerator"]
+
+#: injected fault = E.D. × this factor, so activation clears the
+#: guaranteed-detectable threshold with margin.
+_FAULT_MARGIN = 1.25
+
+
+class MixedSignalTestGenerator:
+    """End-to-end test generation for a :class:`MixedSignalCircuit`.
+
+    Args:
+        mixed: the circuit under test.
+        tolerance: parameter tolerance box (paper: 5 %).
+        element_tolerance: fault-free element tolerance (paper: 5 %).
+        comparator_budget: how many comparators to try per (parameter,
+            bound) before giving up — "all the possibilities" in the
+            paper; lower it to trade coverage for speed on wide ladders.
+        matrix: optional precomputed worst-case deviation matrix; when
+            given, parameters are tried per element in ascending-E.D.
+            order (tightest measurement first — the paper's "the
+            parameter that is the most sensitive ... is taken") and the
+            E.D. values are reused rather than recomputed.  This is what
+            makes case 2 test elements with *the same accuracy* as
+            case 1 (Table 3's claim).
+    """
+
+    def __init__(
+        self,
+        mixed: MixedSignalCircuit,
+        tolerance: float = 0.05,
+        element_tolerance: float = 0.05,
+        comparator_budget: int | None = None,
+        matrix: DeviationMatrix | None = None,
+    ):
+        self.mixed = mixed
+        self.tolerance = tolerance
+        self.element_tolerance = element_tolerance
+        self.comparator_budget = (
+            comparator_budget
+            if comparator_budget is not None
+            else mixed.adc.n_comparators
+        )
+        self.matrix = matrix
+        self._sensitivities: SensitivityMatrix | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sensitivities(self) -> SensitivityMatrix:
+        """Lazy full sensitivity matrix of the analog block."""
+        if self._sensitivities is None:
+            self._sensitivities = sensitivity_matrix(
+                self.mixed.analog, self.mixed.parameters
+            )
+        return self._sensitivities
+
+    def _parameters_by_sensitivity(self, element: str):
+        """Parameters ordered best-first for the element.
+
+        With a precomputed deviation matrix: ascending E.D. (tightest
+        measurement first).  Otherwise: decreasing |S|.
+        """
+        if self.matrix is not None:
+            by_name = {p.name: p for p in self.mixed.parameters}
+            ordered = sorted(
+                self.matrix.parameters,
+                key=lambda name: self.matrix.deviation_percent(name, element),
+            )
+            return [by_name[name] for name in ordered if name in by_name]
+        matrix = self.sensitivities
+        column = matrix.elements.index(element)
+        order = np.argsort(-np.abs(matrix.values[:, column]))
+        return [matrix.parameters[i] for i in order]
+
+    # ------------------------------------------------------------------
+    def analog_element_test(self, element: str) -> AnalogElementTest:
+        """Generate the full recipe for one analog element."""
+        cbdd = self.mixed.compiled_digital()
+        best_failure = AnalogTestStatus.UNTESTABLE_MEASUREMENT
+        for parameter in self._parameters_by_sensitivity(element):
+            if self.matrix is not None:
+                result = self.matrix.results[(parameter.name, element)]
+            else:
+                if abs(self.sensitivities.of(parameter.name, element)) < 5e-3:
+                    continue  # structurally independent: next parameter
+                result = worst_case_deviation(
+                    self.mixed.analog,
+                    parameter,
+                    element,
+                    tolerance=self.tolerance,
+                    element_tolerance=self.element_tolerance,
+                    sensitivities=self.sensitivities,
+                )
+            if math.isinf(result.deviation):
+                continue
+            injected = result.direction * result.deviation * _FAULT_MARGIN
+            # A downward fault cannot exceed -100 %; cap just short of it
+            # (a 95 % drop is far outside any tolerance box anyway).
+            injected = max(injected, -0.95)
+            fault = parametric(element, injected)
+            recipe = self._activate_and_propagate(
+                parameter, fault, cbdd, result.deviation
+            )
+            if recipe is not None:
+                return recipe
+            best_failure = AnalogTestStatus.UNTESTABLE_PROPAGATION
+        return AnalogElementTest(element, best_failure)
+
+    def _activate_and_propagate(
+        self, parameter, fault: AnalogFault, cbdd, ed: float
+    ) -> AnalogElementTest | None:
+        """Try every (bound, comparator) case for one parameter."""
+        n = self.mixed.adc.n_comparators
+        # Try middle comparators first: their thresholds sit in the
+        # response's dynamic range most often.
+        order = sorted(range(n), key=lambda i: abs(i - n // 2))
+        activation_seen = False
+        for bound in (Bound.LOWER, Bound.UPPER):
+            for comparator_index in order[: self.comparator_budget]:
+                vref = self.mixed.adc.threshold(comparator_index)
+                try:
+                    choice = choose_stimulus(
+                        self.mixed.analog, parameter, bound, vref,
+                        x=self.tolerance,
+                    )
+                except (ValueError, ArithmeticError):
+                    continue
+                result = activate(self.mixed, fault, choice)
+                if not result.activated:
+                    continue
+                activation_seen = True
+                propagation = propagate_composite(cbdd, result.pinned)
+                if propagation.vector is None:
+                    continue
+                return AnalogElementTest(
+                    element=fault.element,
+                    status=AnalogTestStatus.TESTABLE,
+                    parameter=parameter.name,
+                    ed_percent=100.0 * ed,
+                    bound=bound,
+                    comparator_index=comparator_index,
+                    stimulus=choice.stimulus,
+                    vector=propagation.vector,
+                    observing_output=propagation.observing_output,
+                )
+        if activation_seen:
+            return None  # caller records UNTESTABLE_PROPAGATION
+        return None
+
+    def analog_tests(self) -> list[AnalogElementTest]:
+        """Test recipes for every analog element (the analog-only flow)."""
+        return [
+            self.analog_element_test(element)
+            for element in self.mixed.analog.element_names()
+        ]
+
+    # ------------------------------------------------------------------
+    def comparator_observability(self) -> list[bool]:
+        """Can a composite value on comparator *i* reach a primary output?
+
+        The Table 5 question.  Comparator *i* is given ``D``; the other
+        converter lines take the thermometer-consistent constants
+        (ones below, zeros above).
+        """
+        cbdd = self.mixed.compiled_digital()
+        lines = self.mixed.converter_lines
+        observable: list[bool] = []
+        for index in range(len(lines)):
+            pinned: dict[str, CompositeValue] = {}
+            for j, line in enumerate(lines):
+                if j < index:
+                    pinned[line] = CompositeValue.ONE
+                elif j == index:
+                    pinned[line] = CompositeValue.D
+                else:
+                    pinned[line] = CompositeValue.ZERO
+            propagation = propagate_composite(cbdd, pinned)
+            observable.append(propagation.vector is not None)
+        return observable
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        include_digital: bool = True,
+        include_unconstrained: bool = False,
+    ) -> MixedTestReport:
+        """Run the whole flow and return the consolidated report."""
+        report = MixedTestReport(self.mixed.name)
+        for element in self.mixed.analog.element_names():
+            report.analog_tests.append(self.analog_element_test(element))
+        report.comparator_observability = self.comparator_observability()
+        mask = report.comparator_observability
+        report.conversion_coverage = constrained_ladder_coverage(
+            self.mixed.adc,
+            lambda i: mask[i],
+            tolerance=self.tolerance,
+            element_tolerance=self.element_tolerance,
+        )
+        if include_digital:
+            report.digital_run = run_atpg(
+                self.mixed.digital,
+                constraint=self.mixed.constraint_builder(),
+            )
+            if include_unconstrained:
+                report.digital_run_unconstrained = run_atpg(self.mixed.digital)
+        return report

@@ -1,0 +1,114 @@
+"""Serialization of mixed-signal test programs.
+
+A generated program must survive the trip to a tester: this module
+renders a :class:`repro.core.MixedTestReport`'s analog program and the
+digital vector set to a stable JSON document and loads it back, so
+programs can be archived, diffed and replayed without the generator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..atpg import AnalogStimulus, DigitalVector, MixedTestStep
+from .coverage import MixedTestReport
+
+__all__ = ["TestProgram", "program_from_report", "dumps", "loads"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class TestProgram:
+    """A serializable mixed-signal test program."""
+
+    circuit_name: str
+    analog_steps: list[MixedTestStep] = field(default_factory=list)
+    digital_vectors: list[dict[str, int]] = field(default_factory=list)
+
+    @property
+    def n_steps(self) -> int:
+        """Total program length (analog steps + digital vectors)."""
+        return len(self.analog_steps) + len(self.digital_vectors)
+
+
+def program_from_report(report: MixedTestReport) -> TestProgram:
+    """Extract the emitted program from a generator report."""
+    vectors = (
+        list(report.digital_run.vectors)
+        if report.digital_run is not None
+        else []
+    )
+    return TestProgram(
+        circuit_name=report.circuit_name,
+        analog_steps=report.program(),
+        digital_vectors=vectors,
+    )
+
+
+def dumps(program: TestProgram) -> str:
+    """Serialize a program to a stable, human-auditable JSON string."""
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "circuit": program.circuit_name,
+        "analog_steps": [
+            {
+                "target": step.target,
+                "stimulus": None
+                if step.stimulus is None
+                else {
+                    "amplitude": step.stimulus.amplitude,
+                    "frequency_hz": step.stimulus.frequency_hz,
+                    "description": step.stimulus.description,
+                },
+                "vector": None
+                if step.vector is None
+                else step.vector.as_dict(),
+                "observe": step.observe,
+                "expected": step.expected,
+            }
+            for step in program.analog_steps
+        ],
+        "digital_vectors": [
+            dict(sorted(vector.items()))
+            for vector in program.digital_vectors
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def loads(text: str) -> TestProgram:
+    """Parse a program previously produced by :func:`dumps`."""
+    document = json.loads(text)
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported program format version {version!r}"
+        )
+    steps: list[MixedTestStep] = []
+    for raw in document["analog_steps"]:
+        stimulus = None
+        if raw["stimulus"] is not None:
+            stimulus = AnalogStimulus(
+                raw["stimulus"]["amplitude"],
+                raw["stimulus"]["frequency_hz"],
+                raw["stimulus"].get("description", ""),
+            )
+        vector = None
+        if raw["vector"] is not None:
+            vector = DigitalVector.from_mapping(raw["vector"])
+        steps.append(
+            MixedTestStep(
+                target=raw["target"],
+                stimulus=stimulus,
+                vector=vector,
+                observe=raw.get("observe"),
+                expected=raw.get("expected"),
+            )
+        )
+    return TestProgram(
+        circuit_name=document["circuit"],
+        analog_steps=steps,
+        digital_vectors=[dict(v) for v in document["digital_vectors"]],
+    )

@@ -1,0 +1,72 @@
+"""Fixed-width table rendering for experiment reports.
+
+The experiment scripts print the same rows the paper's tables report;
+this module holds the shared formatting so every table looks alike.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_ed", "format_seconds"]
+
+
+def format_ed(value: float, width: int = 0) -> str:
+    """Render an E.D. percentage: one decimal, dash for untestable."""
+    if value is None or (isinstance(value, float) and math.isinf(value)):
+        text = "-"
+    else:
+        text = f"{value:.1f}"
+    return text.rjust(width) if width else text
+
+
+def format_seconds(value: float) -> str:
+    """CPU seconds with sensible precision."""
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.0f}ms"
+    return f"{value:.2f}s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Left-padded fixed-width table with a header rule."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+        cells.append([_render(cell) for cell in row])
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cells[0][col].ljust(widths[col]) for col in range(columns)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[col] for col in range(columns)))
+    for row_cells in cells[1:]:
+        lines.append(
+            "  ".join(
+                row_cells[col].rjust(widths[col]) for col in range(columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        if math.isinf(cell):
+            return "-"
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,67 @@
+"""Gate-level digital substrate: netlists, faults, simulation, benchmarks."""
+
+from .gates import GATE_ARITY, GateType, evaluate_gate
+from .netlist import Circuit, Gate, NetlistError
+from .faults import (
+    Fault,
+    branch_fault,
+    checkpoint_faults,
+    collapse_faults,
+    fault_universe,
+    stem_fault,
+)
+from .simulate import (
+    compact_vectors,
+    coverage,
+    fault_simulate,
+    simulate,
+    simulate_patterns,
+    simulate_with_fault,
+)
+from .iscas import parse_bench, parse_bench_file, write_bench
+from .synth import ISCAS85_SPECS, SynthSpec, iscas85_like, synthesize
+from .equivalence import EquivalenceResult, check_equivalent
+from .library import (
+    alu_slice,
+    fig3_circuit,
+    magnitude_comparator,
+    mux_tree,
+    parity_tree,
+    ripple_adder,
+)
+
+__all__ = [
+    "GateType",
+    "GATE_ARITY",
+    "evaluate_gate",
+    "Circuit",
+    "Gate",
+    "NetlistError",
+    "Fault",
+    "stem_fault",
+    "branch_fault",
+    "fault_universe",
+    "collapse_faults",
+    "checkpoint_faults",
+    "simulate",
+    "simulate_patterns",
+    "simulate_with_fault",
+    "fault_simulate",
+    "compact_vectors",
+    "coverage",
+    "EquivalenceResult",
+    "check_equivalent",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "SynthSpec",
+    "ISCAS85_SPECS",
+    "synthesize",
+    "iscas85_like",
+    "alu_slice",
+    "fig3_circuit",
+    "magnitude_comparator",
+    "mux_tree",
+    "parity_tree",
+    "ripple_adder",
+]

@@ -1,0 +1,79 @@
+"""Gate primitives of the digital substrate.
+
+The paper's digital blocks are combinational gate-level netlists (ISCAS85
+benchmarks and small examples).  This module defines the supported gate
+types, their Boolean evaluation on wide bit-vectors (plain Python integers
+used as parallel pattern words), and their BDD construction hooks.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["GateType", "evaluate_gate", "GATE_ARITY"]
+
+
+class GateType(str, Enum):
+    """Supported combinational gate kinds (ISCAS85 vocabulary plus consts)."""
+
+    INPUT = "INPUT"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+
+#: Arity constraints per gate type: (min_inputs, max_inputs) with None = no max.
+GATE_ARITY: dict[GateType, tuple[int, int | None]] = {
+    GateType.INPUT: (0, 0),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, None),
+    GateType.NAND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NOR: (2, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+}
+
+
+def evaluate_gate(gate_type: GateType, values: list[int], mask: int) -> int:
+    """Evaluate a gate over parallel-pattern words.
+
+    ``values`` holds one integer per fan-in; bit *i* of each word is the
+    signal value under pattern *i*.  ``mask`` has one bit set per active
+    pattern and is needed to complement correctly on arbitrary-width
+    integers.
+    """
+    if gate_type is GateType.BUF:
+        return values[0]
+    if gate_type is GateType.NOT:
+        return values[0] ^ mask
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        acc = mask
+        for v in values:
+            acc &= v
+        return acc if gate_type is GateType.AND else acc ^ mask
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        acc = 0
+        for v in values:
+            acc |= v
+        return acc if gate_type is GateType.OR else acc ^ mask
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        acc = 0
+        for v in values:
+            acc ^= v
+        return acc if gate_type is GateType.XOR else acc ^ mask
+    raise ValueError(f"gate type {gate_type} has no evaluation (is it INPUT?)")

@@ -1,0 +1,116 @@
+"""ISCAS85 ``.bench`` netlist reader and writer.
+
+The paper's Table 4/5/7 experiments run on ISCAS85 benchmark circuits
+(c432, c499, c880, c1355, c1908, [11]).  Those netlists are not shipped
+with this reproduction (no network access), but this parser accepts the
+standard ``.bench`` text format so real netlists drop straight in; the
+:mod:`repro.digital.synth` module provides same-interface synthetic
+stand-ins meanwhile (see the substitution table in ``DESIGN.md``).
+
+Format example::
+
+    # comment
+    INPUT(G1)
+    INPUT(G2)
+    OUTPUT(G5)
+    G4 = NAND(G1, G2)
+    G5 = NOT(G4)
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .gates import GateType
+from .netlist import Circuit, NetlistError
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench"]
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^)]+?)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^)]*?)\s*\)$"
+)
+
+_TYPE_ALIASES = {
+    "BUFF": GateType.BUF,
+    "BUF": GateType.BUF,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "AND": GateType.AND,
+    "NAND": GateType.NAND,
+    "OR": GateType.OR,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse ISCAS85 ``.bench`` source text into a :class:`Circuit`."""
+    circuit = Circuit(name)
+    pending_outputs: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _INPUT_RE.match(line)
+        if match:
+            circuit.add_input(match.group(1))
+            continue
+        match = _OUTPUT_RE.match(line)
+        if match:
+            pending_outputs.append(match.group(1))
+            continue
+        match = _GATE_RE.match(line)
+        if match:
+            output, type_name, arg_text = match.groups()
+            gate_type = _TYPE_ALIASES.get(type_name.upper())
+            if gate_type is None:
+                raise NetlistError(f"unknown gate type {type_name!r}: {line}")
+            fanins = [a.strip() for a in arg_text.split(",") if a.strip()]
+            # ISCAS netlists use 1-input AND/OR as buffers occasionally.
+            if len(fanins) == 1 and gate_type in (GateType.AND, GateType.OR):
+                gate_type = GateType.BUF
+            circuit.add_gate(output, gate_type, fanins)
+            continue
+        raise NetlistError(f"unparseable .bench line: {raw_line!r}")
+    for out in pending_outputs:
+        circuit.add_output(out)
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path: str | Path) -> Circuit:
+    """Parse a ``.bench`` file; the circuit name is the file stem."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to ``.bench`` text (round-trip safe)."""
+    lines = [f"# {circuit.name}"]
+    for name in circuit.inputs:
+        lines.append(f"INPUT({name})")
+    for name in circuit.outputs:
+        lines.append(f"OUTPUT({name})")
+    type_names = {
+        GateType.BUF: "BUFF",
+        GateType.NOT: "NOT",
+        GateType.AND: "AND",
+        GateType.NAND: "NAND",
+        GateType.OR: "OR",
+        GateType.NOR: "NOR",
+        GateType.XOR: "XOR",
+        GateType.XNOR: "XNOR",
+        GateType.CONST0: "CONST0",
+        GateType.CONST1: "CONST1",
+    }
+    for signal in circuit.topological_order():
+        gate = circuit.gates[signal]
+        args = ", ".join(gate.fanins)
+        lines.append(f"{signal} = {type_names[gate.gate_type]}({args})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,176 @@
+"""Hand-written library circuits used throughout the paper.
+
+* :func:`fig3_circuit` — the two-output circuit of the paper's Figure 3,
+  whose lines ``l0`` and ``l2`` are driven by comparators on the analog
+  signals ``Va``/``Vb`` (so ``l0 = l2 = 0`` is unreachable: ``Fc = l0 + l2``).
+  Reconstructed to the properties the paper reports: 9 lines / 18
+  uncollapsed stem faults, fully testable stand-alone, exactly 2 faults
+  undetectable under the constraint.
+* :func:`ripple_adder` — the 74LS283-style 4-bit binary adder of the
+  Figure 8 board (generalized to any width).
+* assorted standard blocks (mux tree, parity tree, magnitude comparator,
+  ALU slice) used by tests and the synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from .netlist import Circuit
+
+__all__ = [
+    "fig3_circuit",
+    "ripple_adder",
+    "mux_tree",
+    "parity_tree",
+    "magnitude_comparator",
+    "alu_slice",
+]
+
+
+def fig3_circuit() -> Circuit:
+    """The paper's Figure 3 two-output circuit.
+
+    Primary inputs ``l0, l1, l2, l4``; ``l0`` and ``l2`` are the
+    comparator-driven lines.  Internal lines ``l3 = NOR(l0, l2)``,
+    ``l5 = AND(l3, l1)``, ``l6 = XOR(l1, l2)``; outputs
+    ``Vo1 = OR(l5, l4)`` and ``Vo2 = AND(l6, l0)``.
+
+    Stand-alone the circuit is 100 % stuck-at testable.  Under the analog
+    constraint ``Fc = l0 + l2`` the value ``l3 = 1`` becomes unreachable,
+    so exactly two faults (``l3`` s-a-0 and ``l5`` s-a-0) are untestable —
+    the "2 of the 18 uncollapsed single stuck-at faults" of section 2.2.1.
+    """
+    c = Circuit("fig3")
+    for name in ("l0", "l1", "l2", "l4"):
+        c.add_input(name)
+    c.nor("l3", "l0", "l2")
+    c.and_("l5", "l3", "l1")
+    c.xor("l6", "l1", "l2")
+    c.or_("Vo1", "l5", "l4")
+    c.and_("Vo2", "l6", "l0")
+    c.add_output("Vo1")
+    c.add_output("Vo2")
+    c.validate()
+    return c
+
+
+def ripple_adder(width: int = 4, name: str = "adder4") -> Circuit:
+    """A ``width``-bit ripple-carry adder (74LS283 behaviour for width=4).
+
+    Inputs ``A0..`` , ``B0..`` and carry-in ``CIN``; outputs ``S0..`` and
+    ``COUT``.  Built from XOR/AND/OR full adders.
+    """
+    c = Circuit(name)
+    for i in range(width):
+        c.add_input(f"A{i}")
+        c.add_input(f"B{i}")
+    c.add_input("CIN")
+    carry = "CIN"
+    for i in range(width):
+        a, b = f"A{i}", f"B{i}"
+        c.xor(f"P{i}", a, b)
+        c.xor(f"S{i}", f"P{i}", carry)
+        c.and_(f"G{i}", a, b)
+        c.and_(f"T{i}", f"P{i}", carry)
+        c.or_(f"C{i}", f"G{i}", f"T{i}")
+        carry = f"C{i}"
+        c.add_output(f"S{i}")
+    c.buf("COUT", carry)
+    c.add_output("COUT")
+    c.validate()
+    return c
+
+
+def mux_tree(n_selects: int, name: str = "mux") -> Circuit:
+    """A 2^n-to-1 multiplexer tree with data inputs ``D*`` and selects ``S*``."""
+    c = Circuit(name)
+    n_data = 2**n_selects
+    data = [c.add_input(f"D{i}") for i in range(n_data)]
+    selects = [c.add_input(f"S{i}") for i in range(n_selects)]
+    level = data
+    for s_index, select in enumerate(selects):
+        c.not_(f"NS{s_index}", select)
+        next_level = []
+        for pair_index in range(0, len(level), 2):
+            lo, hi = level[pair_index], level[pair_index + 1]
+            tag = f"L{s_index}_{pair_index // 2}"
+            c.and_(f"{tag}a", lo, f"NS{s_index}")
+            c.and_(f"{tag}b", hi, select)
+            c.or_(tag, f"{tag}a", f"{tag}b")
+            next_level.append(tag)
+        level = next_level
+    c.buf("Y", level[0])
+    c.add_output("Y")
+    c.validate()
+    return c
+
+
+def parity_tree(width: int, name: str = "parity") -> Circuit:
+    """Balanced XOR parity tree over ``width`` inputs — a BDD stress shape."""
+    c = Circuit(name)
+    level = [c.add_input(f"X{i}") for i in range(width)]
+    tag = 0
+    while len(level) > 1:
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            out = f"P{tag}"
+            tag += 1
+            c.xor(out, level[i], level[i + 1])
+            next_level.append(out)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    c.buf("PAR", level[0])
+    c.add_output("PAR")
+    c.validate()
+    return c
+
+
+def magnitude_comparator(width: int, name: str = "cmp") -> Circuit:
+    """Unsigned ``A > B`` comparator over two ``width``-bit operands."""
+    c = Circuit(name)
+    for i in range(width):
+        c.add_input(f"A{i}")
+        c.add_input(f"B{i}")
+    gt_prev = None
+    eq_prev = None
+    for i in reversed(range(width)):  # MSB first
+        a, b = f"A{i}", f"B{i}"
+        c.not_(f"NB{i}", b)
+        c.and_(f"GTB{i}", a, f"NB{i}")
+        c.xnor(f"EQB{i}", a, b)
+        if gt_prev is None:
+            gt_prev, eq_prev = f"GTB{i}", f"EQB{i}"
+        else:
+            c.and_(f"CARRY{i}", eq_prev, f"GTB{i}")
+            c.or_(f"GTACC{i}", gt_prev, f"CARRY{i}")
+            c.and_(f"EQACC{i}", eq_prev, f"EQB{i}")
+            gt_prev, eq_prev = f"GTACC{i}", f"EQACC{i}"
+    c.buf("GT", gt_prev)
+    c.add_output("GT")
+    c.validate()
+    return c
+
+
+def alu_slice(name: str = "alu1") -> Circuit:
+    """A 1-bit ALU slice: op-select between AND/OR/XOR/ADD of ``A``/``B``."""
+    c = Circuit(name)
+    for pin in ("A", "B", "CIN", "OP0", "OP1"):
+        c.add_input(pin)
+    c.and_("FAND", "A", "B")
+    c.or_("FOR", "A", "B")
+    c.xor("FXOR", "A", "B")
+    c.xor("FSUM", "FXOR", "CIN")
+    c.and_("CG", "A", "B")
+    c.and_("CP", "FXOR", "CIN")
+    c.or_("COUT", "CG", "CP")
+    c.not_("NOP0", "OP0")
+    c.not_("NOP1", "OP1")
+    c.and_("SEL0", "FAND", "NOP1", "NOP0")
+    c.and_("SEL1", "FOR", "NOP1", "OP0")
+    c.and_("SEL2", "FXOR", "OP1", "NOP0")
+    c.and_("SEL3", "FSUM", "OP1", "OP0")
+    c.or_("Y", "SEL0", "SEL1", "SEL2", "SEL3")
+    c.add_output("Y")
+    c.add_output("COUT")
+    c.validate()
+    return c

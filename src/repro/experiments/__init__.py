@@ -1,0 +1,31 @@
+"""Regenerators for every table and figure of the paper's evaluation."""
+
+from . import (
+    example1,
+    example2,
+    figure6,
+    responses,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = [
+    "example1",
+    "example2",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "figure6",
+    "responses",
+]

@@ -1,0 +1,64 @@
+"""Run every experiment and print every regenerated table/figure.
+
+``python -m repro.experiments.runner`` reproduces the paper's whole
+evaluation section in one go (several minutes of CPU); individual
+experiments are importable and runnable on their own.
+"""
+
+from __future__ import annotations
+
+import time
+
+from . import (
+    example1,
+    example2,
+    figure6,
+    responses,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = ["EXPERIMENTS", "run_all"]
+
+#: experiment id -> module with a ``run()`` returning a ``render()``-able.
+EXPERIMENTS = {
+    "example1": example1,
+    "example2": example2,
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "figure6": figure6,
+    "responses": responses,
+}
+
+
+def run_all(names: list[str] | None = None) -> str:
+    """Run the selected (default: all) experiments; returns the report."""
+    chosen = names or list(EXPERIMENTS)
+    sections: list[str] = []
+    for name in chosen:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = module.run()
+        elapsed = time.perf_counter() - start
+        sections.append(
+            f"######## {name} ({elapsed:.1f}s) ########\n{result.render()}"
+        )
+    return "\n\n".join(sections)
+
+
+if __name__ == "__main__":
+    import sys
+
+    print(run_all(sys.argv[1:] or None))

@@ -1,0 +1,111 @@
+"""Table 5: propagation of faulty parameters through the comparators.
+
+For every benchmark mixed circuit: through how many comparators can an
+analog fault *not* be propagated?  The paper splits the count by the
+fault side (deviation below −x% vs above +x%, i.e. composite value ``D``
+vs ``D̄`` at the comparator) and reports the analysis CPU time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..atpg import CompositeValue, propagate_composite
+from ..circuits import TABLE4_CIRCUITS, example3_mixed_circuit
+from ..core import format_table
+
+__all__ = ["Table5Row", "Table5Result", "run"]
+
+
+@dataclass
+class Table5Row:
+    """Comparator-propagation summary for one mixed circuit."""
+
+    circuit: str
+    n_inputs: int
+    n_converter_lines: int
+    #: comparators that cannot propagate D (fault drops the output).
+    blocked_d: int
+    #: comparators that cannot propagate D̄ (fault raises the output).
+    blocked_dbar: int
+    cpu_seconds: float
+    #: per-comparator observability for D (Table 7 consumes this).
+    observability_d: list[bool]
+
+
+@dataclass
+class Table5Result:
+    """All Table 5 rows."""
+
+    rows: list[Table5Row]
+
+    def render(self) -> str:
+        headers = [
+            "Circuit", "#PIs", "#PIs from C.B.",
+            "#blocked (dev < -x%)", "#blocked (dev > +x%)", "CPU[s]",
+        ]
+        table_rows = [
+            [
+                row.circuit,
+                row.n_inputs,
+                row.n_converter_lines,
+                row.blocked_d,
+                row.blocked_dbar,
+                f"{row.cpu_seconds:.2f}",
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            headers, table_rows,
+            title="Table 5: propagation of faulty parameters through comparators",
+        )
+
+
+def _observability(mixed, composite: CompositeValue) -> list[bool]:
+    cbdd = mixed.compiled_digital()
+    lines = mixed.converter_lines
+    flags: list[bool] = []
+    for index in range(len(lines)):
+        pinned = {}
+        for j, line in enumerate(lines):
+            if j < index:
+                pinned[line] = CompositeValue.ONE
+            elif j == index:
+                pinned[line] = composite
+            else:
+                pinned[line] = CompositeValue.ZERO
+        result = propagate_composite(cbdd, pinned)
+        flags.append(result.vector is not None)
+    return flags
+
+
+def run(
+    circuits: tuple[str, ...] = TABLE4_CIRCUITS,
+    bench_dir: str | Path | None = None,
+) -> Table5Result:
+    """Compute per-comparator D/D̄ propagation for every benchmark."""
+    rows: list[Table5Row] = []
+    for name in circuits:
+        mixed = example3_mixed_circuit(name, bench_dir=bench_dir)
+        start = time.perf_counter()
+        obs_d = _observability(mixed, CompositeValue.D)
+        obs_dbar = _observability(mixed, CompositeValue.D_BAR)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            Table5Row(
+                circuit=name,
+                n_inputs=len(mixed.digital.inputs),
+                n_converter_lines=len(mixed.converter_lines),
+                blocked_d=sum(1 for ok in obs_d if not ok),
+                blocked_dbar=sum(1 for ok in obs_dbar if not ok),
+                cpu_seconds=elapsed,
+                observability_d=obs_d,
+            )
+        )
+    return Table5Result(rows)
+
+
+if __name__ == "__main__":
+    print(run().render())

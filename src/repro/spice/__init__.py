@@ -1,0 +1,62 @@
+"""Linear analog circuit simulator (MNA) — the paper's analog substrate."""
+
+from .components import (
+    Capacitor,
+    Component,
+    CurrentSource,
+    FiniteOpAmp,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    StampContext,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from .netlist import GROUND, AnalogCircuit, AnalogError
+from .mna import MnaSolver, Solution
+from .ac import FrequencyResponse, log_frequencies, sweep, transfer
+from .measure import (
+    bandwidth,
+    center_frequency,
+    cutoff_high,
+    cutoff_low,
+    dc_gain,
+    gain_at,
+    peak_gain,
+)
+from .transient import TransientResult, TransientSolver, sine, step
+
+__all__ = [
+    "Component",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "IdealOpAmp",
+    "FiniteOpAmp",
+    "StampContext",
+    "AnalogCircuit",
+    "AnalogError",
+    "GROUND",
+    "MnaSolver",
+    "Solution",
+    "FrequencyResponse",
+    "transfer",
+    "sweep",
+    "log_frequencies",
+    "dc_gain",
+    "gain_at",
+    "peak_gain",
+    "center_frequency",
+    "cutoff_low",
+    "cutoff_high",
+    "bandwidth",
+    "TransientSolver",
+    "TransientResult",
+    "sine",
+    "step",
+]

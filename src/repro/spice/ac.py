@@ -1,0 +1,99 @@
+"""AC sweeps and transfer-function utilities on top of the MNA solver."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mna import MnaSolver
+from .netlist import AnalogCircuit, AnalogError
+from .components import VoltageSource
+
+__all__ = ["FrequencyResponse", "transfer", "sweep", "log_frequencies"]
+
+
+@dataclass
+class FrequencyResponse:
+    """A sampled transfer function ``H(f)`` of one output node."""
+
+    frequencies_hz: list[float]
+    transfer_values: list[complex]
+
+    def magnitudes(self) -> list[float]:
+        """|H| samples."""
+        return [abs(h) for h in self.transfer_values]
+
+    def magnitudes_db(self) -> list[float]:
+        """20·log10|H| samples (floored at −300 dB)."""
+        return [
+            20.0 * math.log10(max(abs(h), 1e-15)) for h in self.transfer_values
+        ]
+
+    def peak(self) -> tuple[float, float]:
+        """``(frequency, |H|)`` of the largest sampled magnitude."""
+        magnitudes = self.magnitudes()
+        index = int(np.argmax(magnitudes))
+        return self.frequencies_hz[index], magnitudes[index]
+
+    def at(self, frequency_hz: float) -> complex:
+        """Nearest-sample lookup (for table rendering)."""
+        index = min(
+            range(len(self.frequencies_hz)),
+            key=lambda i: abs(self.frequencies_hz[i] - frequency_hz),
+        )
+        return self.transfer_values[index]
+
+
+def _ac_source(circuit: AnalogCircuit, source_name: str) -> VoltageSource:
+    source = circuit.component(source_name)
+    if not isinstance(source, VoltageSource):
+        raise AnalogError(f"{source_name!r} is not a voltage source")
+    return source
+
+
+def transfer(
+    circuit: AnalogCircuit,
+    source_name: str,
+    output_node: str,
+    frequency_hz: float,
+) -> complex:
+    """Voltage transfer ``v(output)/v(source)`` at one frequency.
+
+    The source's AC amplitude is temporarily forced to 1 V so the output
+    phasor *is* the transfer value; the original amplitude is restored.
+    """
+    source = _ac_source(circuit, source_name)
+    original_ac, original_dc = source.ac, source.dc
+    source.ac, source.dc = 1.0, 1.0 if frequency_hz == 0 else original_dc
+    try:
+        solution = MnaSolver(circuit).solve(frequency_hz)
+        return solution.voltage(output_node)
+    finally:
+        source.ac, source.dc = original_ac, original_dc
+
+
+def sweep(
+    circuit: AnalogCircuit,
+    source_name: str,
+    output_node: str,
+    frequencies_hz: Sequence[float],
+) -> FrequencyResponse:
+    """Sample the transfer function over a frequency list."""
+    values = [
+        transfer(circuit, source_name, output_node, f) for f in frequencies_hz
+    ]
+    return FrequencyResponse(list(frequencies_hz), values)
+
+
+def log_frequencies(
+    start_hz: float, stop_hz: float, points_per_decade: int = 20
+) -> list[float]:
+    """Logarithmically spaced frequency grid, inclusive of both ends."""
+    if start_hz <= 0 or stop_hz <= start_hz:
+        raise AnalogError("need 0 < start < stop for a log sweep")
+    decades = math.log10(stop_hz / start_hz)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return list(np.logspace(math.log10(start_hz), math.log10(stop_hz), n))

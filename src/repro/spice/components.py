@@ -1,0 +1,269 @@
+"""Analog circuit components and their MNA stamps.
+
+The analog substrate is a linear(ized) modified-nodal-analysis simulator —
+the paper's analog blocks (active RC filters) are linear networks of
+resistors, capacitors and op-amps, and its test method only needs
+small-signal transfer parameters of the good and deviated circuits.
+
+Each component knows how to *stamp* itself into an MNA system at a complex
+frequency ``s = j·2πf`` via the :class:`StampContext` protocol, so adding a
+new component type never touches the solver.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "StampContext",
+    "Component",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCVS",
+    "VCCS",
+    "IdealOpAmp",
+    "FiniteOpAmp",
+]
+
+
+class StampContext:
+    """Interface the MNA assembler exposes to components.
+
+    ``index(node)`` maps a node name to a matrix row/column (ground maps to
+    ``None``); ``branch(tag)`` allocates an extra unknown (branch current)
+    and its KVL row; ``add(row, col, value)`` and ``rhs(row, value)``
+    accumulate into the system.  Implemented in :mod:`repro.spice.mna`.
+    """
+
+    def index(self, node: str) -> int | None:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def branch(self, tag: str) -> int:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def add(self, row: int | None, col: int | None, value: complex) -> None:
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def rhs(self, row: int | None, value: complex) -> None:
+        raise NotImplementedError  # pragma: no cover - protocol
+
+
+@dataclass
+class Component:
+    """Base class: a named device connected to a tuple of nodes."""
+
+    name: str
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        """Stamp the device at complex frequency ``s`` with its live value."""
+        raise NotImplementedError
+
+    @property
+    def has_value(self) -> bool:
+        """True when the device carries a tunable scalar value (R, C, ...)."""
+        return True
+
+
+def _stamp_admittance(ctx: StampContext, n1: str, n2: str, y: complex) -> None:
+    """Standard two-terminal admittance stamp."""
+    i, j = ctx.index(n1), ctx.index(n2)
+    ctx.add(i, i, y)
+    ctx.add(j, j, y)
+    ctx.add(i, j, -y)
+    ctx.add(j, i, -y)
+
+
+@dataclass
+class Resistor(Component):
+    """Linear resistor between ``n1`` and ``n2`` (value in ohms)."""
+
+    n1: str = "0"
+    n2: str = "0"
+    value: float = 1.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        _stamp_admittance(ctx, self.n1, self.n2, 1.0 / value)
+
+
+@dataclass
+class Capacitor(Component):
+    """Linear capacitor (value in farads); open circuit at DC (s = 0)."""
+
+    n1: str = "0"
+    n2: str = "0"
+    value: float = 1.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        if s == 0:
+            return  # open at DC
+        _stamp_admittance(ctx, self.n1, self.n2, s * value)
+
+
+@dataclass
+class Inductor(Component):
+    """Linear inductor (value in henries); short circuit at DC."""
+
+    n1: str = "0"
+    n2: str = "0"
+    value: float = 1.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        i, j = ctx.index(self.n1), ctx.index(self.n2)
+        b = ctx.branch(self.name)
+        ctx.add(i, b, 1.0)
+        ctx.add(j, b, -1.0)
+        ctx.add(b, i, 1.0)
+        ctx.add(b, j, -1.0)
+        ctx.add(b, b, -s * value)
+
+
+@dataclass
+class VoltageSource(Component):
+    """Independent voltage source; ``dc`` level and ``ac`` phasor amplitude."""
+
+    plus: str = "0"
+    minus: str = "0"
+    dc: float = 0.0
+    ac: float = 0.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        i, j = ctx.index(self.plus), ctx.index(self.minus)
+        b = ctx.branch(self.name)
+        ctx.add(i, b, 1.0)
+        ctx.add(j, b, -1.0)
+        ctx.add(b, i, 1.0)
+        ctx.add(b, j, -1.0)
+        ctx.rhs(b, self.dc if s == 0 else self.ac)
+
+    @property
+    def has_value(self) -> bool:
+        return False
+
+
+@dataclass
+class CurrentSource(Component):
+    """Independent current source flowing from ``plus`` to ``minus``."""
+
+    plus: str = "0"
+    minus: str = "0"
+    dc: float = 0.0
+    ac: float = 0.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        i, j = ctx.index(self.plus), ctx.index(self.minus)
+        level = self.dc if s == 0 else self.ac
+        ctx.rhs(i, -level)
+        ctx.rhs(j, level)
+
+    @property
+    def has_value(self) -> bool:
+        return False
+
+
+@dataclass
+class VCVS(Component):
+    """Voltage-controlled voltage source: ``v(out) = gain · v(ctrl)``."""
+
+    out_plus: str = "0"
+    out_minus: str = "0"
+    ctrl_plus: str = "0"
+    ctrl_minus: str = "0"
+    value: float = 1.0  # the gain
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        op, om = ctx.index(self.out_plus), ctx.index(self.out_minus)
+        cp, cm = ctx.index(self.ctrl_plus), ctx.index(self.ctrl_minus)
+        b = ctx.branch(self.name)
+        ctx.add(op, b, 1.0)
+        ctx.add(om, b, -1.0)
+        ctx.add(b, op, 1.0)
+        ctx.add(b, om, -1.0)
+        ctx.add(b, cp, -value)
+        ctx.add(b, cm, value)
+
+
+@dataclass
+class VCCS(Component):
+    """Voltage-controlled current source (transconductance ``value``)."""
+
+    out_plus: str = "0"
+    out_minus: str = "0"
+    ctrl_plus: str = "0"
+    ctrl_minus: str = "0"
+    value: float = 1.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        op, om = ctx.index(self.out_plus), ctx.index(self.out_minus)
+        cp, cm = ctx.index(self.ctrl_plus), ctx.index(self.ctrl_minus)
+        ctx.add(op, cp, value)
+        ctx.add(op, cm, -value)
+        ctx.add(om, cp, -value)
+        ctx.add(om, cm, value)
+
+
+@dataclass
+class IdealOpAmp(Component):
+    """Ideal op-amp (nullor stamp): infinite gain, virtual short at inputs.
+
+    The extra MNA row enforces ``v(in_plus) = v(in_minus)``; the extra
+    column lets the output node source whatever current closes the loop.
+    This is the op-amp model used for the paper's filter examples; the
+    fault-capable macromodel is :class:`FiniteOpAmp`.
+    """
+
+    in_plus: str = "0"
+    in_minus: str = "0"
+    out: str = "0"
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        o = ctx.index(self.out)
+        ip, im = ctx.index(self.in_plus), ctx.index(self.in_minus)
+        b = ctx.branch(self.name)
+        ctx.add(o, b, 1.0)
+        ctx.add(b, ip, 1.0)
+        ctx.add(b, im, -1.0)
+
+    @property
+    def has_value(self) -> bool:
+        return False
+
+
+@dataclass
+class FiniteOpAmp(Component):
+    """Single-pole op-amp macromodel with injectable internal faults.
+
+    ``A(s) = A0 / (1 + s/ω_p)`` with ``ω_p = 2π·gbw / A0``, plus finite
+    input and output resistance.  Deviating ``value`` (= A0) models the
+    op-amp gain faults of refs. [12]/[13]; open/short catastrophic faults
+    are modelled at the circuit level by deviating the access resistors.
+    """
+
+    in_plus: str = "0"
+    in_minus: str = "0"
+    out: str = "0"
+    value: float = 2.0e5  # DC open-loop gain A0
+    gbw: float = 1.0e6  # gain-bandwidth product, Hz
+    r_in: float = 1.0e7
+    r_out: float = 75.0
+
+    def stamp(self, ctx: StampContext, s: complex, value: float) -> None:
+        ip, im = ctx.index(self.in_plus), ctx.index(self.in_minus)
+        o = ctx.index(self.out)
+        # Input resistance between the differential inputs.
+        _stamp_admittance(ctx, self.in_plus, self.in_minus, 1.0 / self.r_in)
+        # Frequency-dependent open-loop gain.
+        if s == 0:
+            gain = value
+        else:
+            pole = 2.0 * math.pi * self.gbw / max(value, 1.0)
+            gain = value / (1.0 + s / pole)
+        # VCVS with series r_out implemented via an internal node-free
+        # Norton form: output admittance + controlled current.
+        g_out = 1.0 / self.r_out
+        ctx.add(o, o, g_out)
+        ctx.add(o, ip, -gain * g_out)
+        ctx.add(o, im, gain * g_out)

@@ -1,0 +1,156 @@
+"""Performance-parameter measurements on analog circuits.
+
+These are the measurable quantities the paper's analog test method selects
+among (its Table 2 notation): DC gain ``Adc``, AC gain at a frequency
+``A_f``, maximum AC gain ``Amax`` and its frequency (the center frequency
+``f0`` of a band-pass), and the −3 dB low/high cut-off frequencies
+``flcf``/``fhcf``.  All are computed from MNA solves — a golden-section
+search on a log-frequency axis for the peak, bisection for the cut-offs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.optimize import brentq, minimize_scalar
+
+from .ac import transfer
+from .netlist import AnalogCircuit, AnalogError
+
+__all__ = [
+    "dc_gain",
+    "gain_at",
+    "peak_gain",
+    "center_frequency",
+    "cutoff_low",
+    "cutoff_high",
+    "bandwidth",
+]
+
+#: −3 dB: the cut-off magnitude is the reference divided by √2.
+_SQRT2 = math.sqrt(2.0)
+
+
+def dc_gain(circuit: AnalogCircuit, source: str, output: str) -> float:
+    """|H(0)| — the DC gain magnitude."""
+    return abs(transfer(circuit, source, output, 0.0))
+
+
+def gain_at(
+    circuit: AnalogCircuit, source: str, output: str, frequency_hz: float
+) -> float:
+    """|H(f)| — AC gain magnitude at one frequency."""
+    return abs(transfer(circuit, source, output, frequency_hz))
+
+
+def peak_gain(
+    circuit: AnalogCircuit,
+    source: str,
+    output: str,
+    f_low: float = 1.0,
+    f_high: float = 1.0e7,
+    coarse_points: int = 120,
+) -> tuple[float, float]:
+    """``(f_peak, |H|_peak)`` via coarse log scan + golden-section refine."""
+    if f_low <= 0 or f_high <= f_low:
+        raise AnalogError("need 0 < f_low < f_high")
+    log_low, log_high = math.log10(f_low), math.log10(f_high)
+    best_log_f, best_mag = log_low, -1.0
+    for index in range(coarse_points):
+        log_f = log_low + (log_high - log_low) * index / (coarse_points - 1)
+        magnitude = gain_at(circuit, source, output, 10.0**log_f)
+        if magnitude > best_mag:
+            best_mag, best_log_f = magnitude, log_f
+    step = (log_high - log_low) / (coarse_points - 1)
+    bracket_low = max(log_low, best_log_f - 2 * step)
+    bracket_high = min(log_high, best_log_f + 2 * step)
+    result = minimize_scalar(
+        lambda lf: -gain_at(circuit, source, output, 10.0**lf),
+        bounds=(bracket_low, bracket_high),
+        method="bounded",
+        options={"xatol": 1e-7},
+    )
+    f_peak = 10.0**result.x
+    return f_peak, gain_at(circuit, source, output, f_peak)
+
+
+def center_frequency(
+    circuit: AnalogCircuit,
+    source: str,
+    output: str,
+    f_low: float = 1.0,
+    f_high: float = 1.0e7,
+) -> float:
+    """Frequency of maximum gain (the band-pass center frequency ``f0``)."""
+    f_peak, _ = peak_gain(circuit, source, output, f_low, f_high)
+    return f_peak
+
+
+def _crossing(
+    circuit: AnalogCircuit,
+    source: str,
+    output: str,
+    target: float,
+    f_a: float,
+    f_b: float,
+) -> float:
+    """Root of |H(f)| − target on [f_a, f_b] (log-f Brent)."""
+
+    def objective(log_f: float) -> float:
+        return gain_at(circuit, source, output, 10.0**log_f) - target
+
+    return 10.0 ** brentq(
+        objective, math.log10(f_a), math.log10(f_b), xtol=1e-9
+    )
+
+
+def cutoff_low(
+    circuit: AnalogCircuit,
+    source: str,
+    output: str,
+    f_low: float = 1.0,
+    f_high: float = 1.0e7,
+    reference: float | None = None,
+) -> float:
+    """Low −3 dB cut-off: the crossing *below* the response peak.
+
+    ``reference`` overrides the reference gain (defaults to the peak gain);
+    raises if the response never falls below reference/√2 on the low side
+    (e.g. a low-pass has no low cut-off).
+    """
+    f_peak, peak = peak_gain(circuit, source, output, f_low, f_high)
+    target = (reference if reference is not None else peak) / _SQRT2
+    low_end = gain_at(circuit, source, output, f_low)
+    if low_end >= target:
+        raise AnalogError("response has no low-side -3 dB crossing")
+    return _crossing(circuit, source, output, target, f_low, f_peak)
+
+
+def cutoff_high(
+    circuit: AnalogCircuit,
+    source: str,
+    output: str,
+    f_low: float = 1.0,
+    f_high: float = 1.0e7,
+    reference: float | None = None,
+) -> float:
+    """High −3 dB cut-off: the crossing *above* the response peak."""
+    f_peak, peak = peak_gain(circuit, source, output, f_low, f_high)
+    target = (reference if reference is not None else peak) / _SQRT2
+    high_end = gain_at(circuit, source, output, f_high)
+    if high_end >= target:
+        raise AnalogError("response has no high-side -3 dB crossing")
+    return _crossing(circuit, source, output, target, f_peak, f_high)
+
+
+def bandwidth(
+    circuit: AnalogCircuit,
+    source: str,
+    output: str,
+    f_low: float = 1.0,
+    f_high: float = 1.0e7,
+) -> float:
+    """−3 dB bandwidth ``fhcf − flcf`` of a band-pass response."""
+    return cutoff_high(circuit, source, output, f_low, f_high) - cutoff_low(
+        circuit, source, output, f_low, f_high
+    )

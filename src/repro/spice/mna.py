@@ -1,0 +1,171 @@
+"""Modified nodal analysis assembly and solve.
+
+One :class:`MnaSolver` instance per circuit; each ``solve`` call assembles
+the complex MNA matrix at the requested frequency using the circuit's
+*effective* element values (nominal × (1+deviation)) and solves it with
+LAPACK via numpy.  Singular systems (floating nodes, contradictory
+sources) raise :class:`repro.spice.netlist.AnalogError` with the node map
+attached to keep debugging sane.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from .components import StampContext
+from .netlist import GROUND, AnalogCircuit, AnalogError
+
+__all__ = ["MnaSolver", "Solution"]
+
+
+class Solution:
+    """Result of one MNA solve: node voltages and branch currents."""
+
+    def __init__(
+        self,
+        voltages: dict[str, complex],
+        branch_currents: dict[str, complex],
+        frequency_hz: float,
+    ):
+        self._voltages = voltages
+        self._branch_currents = branch_currents
+        self.frequency_hz = frequency_hz
+
+    def voltage(self, node: str) -> complex:
+        """Complex node voltage (phasor for AC, real level for DC)."""
+        if node == GROUND:
+            return 0.0 + 0.0j
+        try:
+            return self._voltages[node]
+        except KeyError:
+            raise AnalogError(f"no node named {node!r} in solution") from None
+
+    def voltage_between(self, plus: str, minus: str) -> complex:
+        """Differential voltage ``v(plus) − v(minus)``."""
+        return self.voltage(plus) - self.voltage(minus)
+
+    def magnitude(self, node: str) -> float:
+        """|v(node)|."""
+        return abs(self.voltage(node))
+
+    def phase_deg(self, node: str) -> float:
+        """Phase of v(node) in degrees."""
+        return math.degrees(cmath.phase(self.voltage(node)))
+
+    def branch_current(self, component_name: str) -> complex:
+        """Current through a branch-forming device (V-source, opamp, L)."""
+        try:
+            return self._branch_currents[component_name]
+        except KeyError:
+            raise AnalogError(
+                f"component {component_name!r} has no branch current"
+            ) from None
+
+    def nodes(self) -> list[str]:
+        """All solved node names."""
+        return list(self._voltages)
+
+
+class _Assembler(StampContext):
+    """Concrete stamp context backed by a dense complex matrix."""
+
+    def __init__(self, node_index: dict[str, int]):
+        self._node_index = node_index
+        self._n_nodes = len(node_index)
+        self._branches: dict[str, int] = {}
+        self.entries: list[tuple[int, int, complex]] = []
+        self.rhs_entries: list[tuple[int, complex]] = []
+
+    def index(self, node: str) -> int | None:
+        if node == GROUND:
+            return None
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise AnalogError(f"unknown node {node!r}") from None
+
+    def branch(self, tag: str) -> int:
+        if tag in self._branches:
+            return self._branches[tag]
+        row = self._n_nodes + len(self._branches)
+        self._branches[tag] = row
+        return row
+
+    def add(self, row: int | None, col: int | None, value: complex) -> None:
+        if row is None or col is None:
+            return
+        self.entries.append((row, col, value))
+
+    def rhs(self, row: int | None, value: complex) -> None:
+        if row is None:
+            return
+        self.rhs_entries.append((row, value))
+
+    @property
+    def size(self) -> int:
+        return self._n_nodes + len(self._branches)
+
+    @property
+    def branch_rows(self) -> dict[str, int]:
+        return dict(self._branches)
+
+
+class MnaSolver:
+    """Assemble-and-solve wrapper around one :class:`AnalogCircuit`."""
+
+    #: conductance added from every node to ground; keeps matrices
+    #: non-singular for nodes isolated at DC (e.g. between two capacitors)
+    #: without measurably perturbing kilo-ohm scale circuits.
+    GMIN = 1.0e-12
+
+    def __init__(self, circuit: AnalogCircuit):
+        self.circuit = circuit
+        self._node_index = {
+            node: index for index, node in enumerate(circuit.nodes())
+        }
+
+    def solve(self, frequency_hz: float) -> Solution:
+        """Solve at one frequency; ``0.0`` selects the DC system."""
+        s = 2j * math.pi * frequency_hz if frequency_hz else 0.0
+        assembler = _Assembler(self._node_index)
+        for component in self.circuit.components:
+            value = (
+                self.circuit.effective_value(component.name)
+                if component.has_value
+                else 0.0
+            )
+            component.stamp(assembler, s, value)
+        size = assembler.size
+        if size == 0:
+            raise AnalogError(f"circuit {self.circuit.name!r} is empty")
+        matrix = np.zeros((size, size), dtype=complex)
+        for row, col, value in assembler.entries:
+            matrix[row, col] += value
+        for index in range(len(self._node_index)):
+            matrix[index, index] += self.GMIN
+        rhs = np.zeros(size, dtype=complex)
+        for row, value in assembler.rhs_entries:
+            rhs[row] += value
+        try:
+            solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise AnalogError(
+                f"singular MNA system for {self.circuit.name!r} at "
+                f"{frequency_hz} Hz: {exc}"
+            ) from exc
+        voltages = {
+            node: complex(solution[index])
+            for node, index in self._node_index.items()
+        }
+        currents = {
+            tag: complex(solution[row])
+            for tag, row in assembler.branch_rows.items()
+        }
+        return Solution(voltages, currents, frequency_hz)
+
+    def solve_dc(self) -> Solution:
+        """Convenience alias for ``solve(0.0)``."""
+        return self.solve(0.0)

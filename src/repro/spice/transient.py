@@ -1,0 +1,297 @@
+"""Transient (time-domain) simulation via backward-Euler companion models.
+
+The paper's section 2.3 reasons about comparator outputs *over a period*:
+with the test sinusoid applied, the faulty circuit's output crosses the
+comparator threshold for only part of the cycle ("a period of time Tp"),
+producing the composite logic value.  The AC (phasor) analysis used by
+the main flow predicts the crossing from the output amplitude; this
+module provides the time-domain view that validates that prediction and
+lets users inspect the actual comparator waveforms.
+
+Implementation: classic SPICE-style transient — each capacitor becomes a
+conductance ``C/h`` in parallel with a history current source, each
+inductor a resistance ``L/h`` companion in its branch; the resulting
+resistive network is solved per time step.  Linear circuits only (the
+package's scope), so no Newton iteration is needed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .components import (
+    Capacitor,
+    CurrentSource,
+    FiniteOpAmp,
+    IdealOpAmp,
+    Inductor,
+    Resistor,
+    VCVS,
+    VCCS,
+    VoltageSource,
+)
+from .netlist import GROUND, AnalogCircuit, AnalogError
+
+__all__ = ["TransientResult", "TransientSolver", "sine", "step"]
+
+
+def sine(amplitude: float, frequency_hz: float, phase_rad: float = 0.0):
+    """A sine waveform ``A·sin(2πft + φ)`` for source overrides."""
+
+    def waveform(t: float) -> float:
+        return amplitude * math.sin(2.0 * math.pi * frequency_hz * t + phase_rad)
+
+    return waveform
+
+
+def step(level: float, at: float = 0.0):
+    """A step waveform: 0 before ``at``, ``level`` after."""
+
+    def waveform(t: float) -> float:
+        return level if t >= at else 0.0
+
+    return waveform
+
+
+@dataclass
+class TransientResult:
+    """Sampled node waveforms."""
+
+    times: np.ndarray
+    voltages: dict[str, np.ndarray]
+
+    def waveform(self, node: str) -> np.ndarray:
+        """The voltage samples of one node."""
+        try:
+            return self.voltages[node]
+        except KeyError:
+            raise AnalogError(f"no node named {node!r} in result") from None
+
+    def amplitude(self, node: str, settle_fraction: float = 0.5) -> float:
+        """Peak |v| over the settled tail of the simulation."""
+        samples = self.waveform(node)
+        start = int(len(samples) * settle_fraction)
+        return float(np.max(np.abs(samples[start:])))
+
+    def comparator_output(
+        self, node: str, vref: float, settle_fraction: float = 0.0
+    ) -> np.ndarray:
+        """The bit stream ``v(node) > vref`` (the paper's ``Vd``)."""
+        samples = self.waveform(node)
+        start = int(len(samples) * settle_fraction)
+        return (samples[start:] > vref).astype(int)
+
+    def duty_above(self, node: str, vref: float, settle_fraction: float = 0.5) -> float:
+        """Fraction of settled time the node spends above ``vref``.
+
+        This is the paper's ``Tp`` (normalized): the window during which
+        the comparator reads 1.
+        """
+        bits = self.comparator_output(node, vref, settle_fraction)
+        if len(bits) == 0:
+            return 0.0
+        return float(np.mean(bits))
+
+
+class TransientSolver:
+    """Backward-Euler transient analysis of a linear analog circuit."""
+
+    #: ideal op-amps are realized as very-high-gain VCVSs in transient
+    #: (the nullor stamp is fine too, but the finite gain keeps companion
+    #: bookkeeping uniform).
+    _IDEAL_GAIN = 1.0e7
+
+    def __init__(self, circuit: AnalogCircuit):
+        self.circuit = circuit
+        self._node_index = {
+            node: index for index, node in enumerate(circuit.nodes())
+        }
+        self._n_nodes = len(self._node_index)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        t_stop: float,
+        dt: float,
+        source_waveforms: Mapping[str, Callable[[float], float]] | None = None,
+        initial: Mapping[str, float] | None = None,
+    ) -> TransientResult:
+        """Simulate from 0 to ``t_stop`` with a fixed step ``dt``.
+
+        Args:
+            source_waveforms: per-source time functions overriding the
+                source's static ``dc`` level.
+            initial: initial node voltages (default: all zero — start
+                from rest, as the paper's bench does).
+        """
+        if dt <= 0 or t_stop <= dt:
+            raise AnalogError("need 0 < dt < t_stop")
+        source_waveforms = dict(source_waveforms or {})
+        n_steps = int(round(t_stop / dt))
+        times = np.arange(1, n_steps + 1) * dt
+
+        index = dict(self._node_index)
+        n_nodes = self._n_nodes
+
+        # Assign branch rows: voltage sources, inductors, ideal opamps,
+        # and VCVSs need branch unknowns.
+        branch_rows: dict[str, int] = {}
+        next_row = n_nodes
+        for component in self.circuit.components:
+            if isinstance(
+                component, (VoltageSource, Inductor, IdealOpAmp, VCVS)
+            ):
+                branch_rows[component.name] = next_row
+                next_row += 1
+        size = next_row
+
+        def node(n: str) -> int | None:
+            return None if n == GROUND else index[n]
+
+        # The system matrix is constant (linear circuit, fixed step):
+        # build it once; per-step only the RHS changes.
+        matrix = np.zeros((size, size))
+        for component in self.circuit.components:
+            value = (
+                self.circuit.effective_value(component.name)
+                if component.has_value
+                else 0.0
+            )
+            self._stamp_static(
+                matrix, node, branch_rows, component, value, dt
+            )
+        for diag in range(n_nodes):
+            matrix[diag, diag] += 1e-12  # GMIN
+        try:
+            factor = np.linalg.inv(matrix)
+        except np.linalg.LinAlgError as exc:
+            raise AnalogError(
+                f"singular transient system for {self.circuit.name!r}: {exc}"
+            ) from exc
+
+        # State: previous node voltages and inductor branch currents.
+        voltages_prev = np.zeros(n_nodes)
+        if initial:
+            for name, level in initial.items():
+                if name != GROUND:
+                    voltages_prev[index[name]] = level
+        branch_prev = np.zeros(size - n_nodes)
+
+        recorded = {name: np.zeros(n_steps) for name in index}
+        solution = np.zeros(size)
+        for step_index, t in enumerate(times):
+            rhs = np.zeros(size)
+            for component in self.circuit.components:
+                value = (
+                    self.circuit.effective_value(component.name)
+                    if component.has_value
+                    else 0.0
+                )
+                self._stamp_rhs(
+                    rhs, node, branch_rows, component, value, dt,
+                    voltages_prev, branch_prev, source_waveforms, t,
+                )
+            solution = factor @ rhs
+            voltages_prev = solution[:n_nodes]
+            branch_prev = solution[n_nodes:]
+            for name, node_index in index.items():
+                recorded[name][step_index] = solution[node_index]
+        return TransientResult(times, recorded)
+
+    # ------------------------------------------------------------------
+    def _stamp_static(self, matrix, node, branch_rows, component, value, dt):
+        def add(i, j, v):
+            if i is not None and j is not None:
+                matrix[i, j] += v
+
+        if isinstance(component, Resistor):
+            g = 1.0 / value
+            i, j = node(component.n1), node(component.n2)
+            add(i, i, g); add(j, j, g); add(i, j, -g); add(j, i, -g)
+        elif isinstance(component, Capacitor):
+            g = value / dt  # companion conductance
+            i, j = node(component.n1), node(component.n2)
+            add(i, i, g); add(j, j, g); add(i, j, -g); add(j, i, -g)
+        elif isinstance(component, Inductor):
+            i, j = node(component.n1), node(component.n2)
+            b = branch_rows[component.name]
+            add(i, b, 1.0); add(j, b, -1.0)
+            add(b, i, 1.0); add(b, j, -1.0)
+            matrix[b, b] += -value / dt
+        elif isinstance(component, VoltageSource):
+            i, j = node(component.plus), node(component.minus)
+            b = branch_rows[component.name]
+            add(i, b, 1.0); add(j, b, -1.0)
+            add(b, i, 1.0); add(b, j, -1.0)
+        elif isinstance(component, CurrentSource):
+            pass  # RHS only
+        elif isinstance(component, VCVS):
+            op, om = node(component.out_plus), node(component.out_minus)
+            cp, cm = node(component.ctrl_plus), node(component.ctrl_minus)
+            b = branch_rows[component.name]
+            add(op, b, 1.0); add(om, b, -1.0)
+            add(b, op, 1.0); add(b, om, -1.0)
+            add(b, cp, -value); add(b, cm, value)
+        elif isinstance(component, VCCS):
+            op, om = node(component.out_plus), node(component.out_minus)
+            cp, cm = node(component.ctrl_plus), node(component.ctrl_minus)
+            add(op, cp, value); add(op, cm, -value)
+            add(om, cp, -value); add(om, cm, value)
+        elif isinstance(component, IdealOpAmp):
+            o = node(component.out)
+            ip, im = node(component.in_plus), node(component.in_minus)
+            b = branch_rows[component.name]
+            add(o, b, 1.0)
+            add(b, ip, 1.0); add(b, im, -1.0)
+        elif isinstance(component, FiniteOpAmp):
+            ip, im = node(component.in_plus), node(component.in_minus)
+            o = node(component.out)
+            g_in = 1.0 / component.r_in
+            add(ip, ip, g_in); add(im, im, g_in)
+            add(ip, im, -g_in); add(im, ip, -g_in)
+            g_out = 1.0 / component.r_out
+            gain = value  # DC gain; the single pole is ignored in the
+            # time-domain companion (dominant-pole dynamics of the
+            # surrounding RC network dominate at the bench's frequencies)
+            add(o, o, g_out)
+            add(o, ip, -gain * g_out)
+            add(o, im, gain * g_out)
+        else:  # pragma: no cover - new component types fail loudly
+            raise AnalogError(
+                f"transient solver cannot stamp {type(component).__name__}"
+            )
+
+    def _stamp_rhs(
+        self, rhs, node, branch_rows, component, value, dt,
+        voltages_prev, branch_prev, source_waveforms, t,
+    ):
+        def v_prev(n: str) -> float:
+            idx = node(n)
+            return 0.0 if idx is None else voltages_prev[idx]
+
+        def add(i, v):
+            if i is not None:
+                rhs[i] += v
+
+        if isinstance(component, Capacitor):
+            g = value / dt
+            history = g * (v_prev(component.n1) - v_prev(component.n2))
+            add(node(component.n1), history)
+            add(node(component.n2), -history)
+        elif isinstance(component, Inductor):
+            b = branch_rows[component.name]
+            i_prev = branch_prev[b - len(voltages_prev)]
+            rhs[b] += -(value / dt) * i_prev
+        elif isinstance(component, VoltageSource):
+            b = branch_rows[component.name]
+            waveform = source_waveforms.get(component.name)
+            rhs[b] += waveform(t) if waveform else component.dc
+        elif isinstance(component, CurrentSource):
+            waveform = source_waveforms.get(component.name)
+            level = waveform(t) if waveform else component.dc
+            add(node(component.plus), -level)
+            add(node(component.minus), level)

@@ -1,0 +1,97 @@
+"""Tests for the worst-case element deviation solver."""
+
+import math
+
+import pytest
+
+from repro.analog import (
+    ParameterKind,
+    PerformanceParameter,
+    UNTESTABLE,
+    deviation_matrix,
+    worst_case_deviation,
+)
+from repro.spice import AnalogCircuit
+
+
+def inverting_amp() -> AnalogCircuit:
+    c = AnalogCircuit("inv")
+    c.vsource("Vin", "in", "0", ac=1.0)
+    c.resistor("Rg", "in", "sum", 1000.0)
+    c.resistor("Rf", "sum", "out", 4000.0)
+    c.opamp("U1", "0", "sum", "out")
+    return c
+
+
+ADC = PerformanceParameter("Adc", ParameterKind.DC_GAIN, "Vin", "out")
+
+
+class TestWorstCase:
+    def test_two_element_amp_analytic(self):
+        # |A| = Rf/Rg with S = ±1: guaranteed detection needs the fault's
+        # own shift to exceed box (5 %) + budget (|S_other|*5 % = 5 %),
+        # i.e. about 10 % (slightly less downward by nonlinearity).
+        result = worst_case_deviation(inverting_amp(), ADC, "Rf")
+        assert 0.08 < result.deviation < 0.12
+        assert result.masking_budget == pytest.approx(0.05, abs=0.005)
+
+    def test_direction_reported(self):
+        result = worst_case_deviation(inverting_amp(), ADC, "Rf")
+        assert result.direction in (+1, -1)
+
+    def test_no_adversary_bound_is_box_only(self):
+        result = worst_case_deviation(
+            inverting_amp(), ADC, "Rf", adversary="none"
+        )
+        # Only the 5 % box to clear: ED just over 5 %.
+        assert 0.04 < result.deviation < 0.07
+
+    def test_adversary_ordering(self):
+        optimistic = worst_case_deviation(
+            inverting_amp(), ADC, "Rf", adversary="none"
+        ).deviation
+        guaranteed = worst_case_deviation(
+            inverting_amp(), ADC, "Rf", adversary="sensitivity"
+        ).deviation
+        assert guaranteed >= optimistic
+
+    def test_corners_adversary(self):
+        result = worst_case_deviation(
+            inverting_amp(), ADC, "Rf", adversary="corners"
+        )
+        assert 0.08 < result.deviation < 0.13
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_deviation(
+                inverting_amp(), ADC, "Rf", adversary="mystic"
+            )
+
+    def test_insensitive_element_untestable(self):
+        c = inverting_amp()
+        c.resistor("Rshunt", "out", "0", 1e6)
+        result = worst_case_deviation(c, ADC, "Rshunt")
+        assert math.isinf(result.deviation)
+
+
+class TestMatrix:
+    def test_matrix_structure(self):
+        c = inverting_amp()
+        c.resistor("Rshunt", "out", "0", 1e6)
+        matrix = deviation_matrix(c, [ADC])
+        assert matrix.parameters == ["Adc"]
+        assert set(matrix.elements) == {"Rg", "Rf", "Rshunt"}
+        assert math.isinf(matrix.deviation_percent("Adc", "Rshunt"))
+        assert 8.0 < matrix.deviation_percent("Adc", "Rf") < 12.0
+
+    def test_element_coverage(self):
+        matrix = deviation_matrix(inverting_amp(), [ADC])
+        parameter, ed = matrix.element_coverage("Rf")
+        assert parameter == "Adc"
+        assert 8.0 < ed < 12.0
+
+    def test_row(self):
+        matrix = deviation_matrix(inverting_amp(), [ADC])
+        row = matrix.row("Adc")
+        assert len(row) == 2
+        assert all(v > 0 for v in row)

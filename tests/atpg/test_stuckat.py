@@ -1,0 +1,132 @@
+"""Tests for the BDD stuck-at test generator.
+
+The load-bearing property: every vector the generator emits must actually
+detect its fault under fault simulation — the algebra and the simulator
+must agree.
+"""
+
+import pytest
+
+from repro.atpg import CircuitBdd, StuckAtGenerator, TestStatus
+from repro.bdd.manager import FALSE, TRUE
+from repro.digital import (
+    Circuit,
+    collapse_faults,
+    fault_simulate,
+    fault_universe,
+    ripple_adder,
+    stem_fault,
+)
+from repro.digital.library import fig3_circuit
+
+
+class TestAgainstFaultSimulation:
+    @pytest.mark.parametrize(
+        "circuit_factory", [fig3_circuit, lambda: ripple_adder(3)]
+    )
+    def test_vectors_detect_their_faults(self, circuit_factory):
+        circuit = circuit_factory()
+        cbdd = CircuitBdd(circuit)
+        generator = StuckAtGenerator(cbdd)
+        faults = collapse_faults(circuit, fault_universe(circuit))
+        for fault in faults:
+            result = generator.generate(fault)
+            assert result.status is TestStatus.DETECTED
+            detected = fault_simulate(circuit, [result.vector], [fault])
+            assert detected[fault], f"{fault} not detected by {result.vector}"
+
+    def test_observing_outputs_reported(self):
+        circuit = fig3_circuit()
+        generator = StuckAtGenerator(CircuitBdd(circuit))
+        result = generator.generate(stem_fault("l4", 0))
+        assert result.observing_outputs == ("Vo1",)
+
+
+class TestUntestable:
+    def test_redundant_fault_proven_untestable(self):
+        # g = a AND (a OR b): the (a OR b) path is redundant for b when
+        # a = 0; specifically "or1 s-a-1" is undetectable.
+        c = Circuit("redundant")
+        c.add_input("a")
+        c.add_input("b")
+        c.or_("or1", "a", "b")
+        c.and_("g", "a", "or1")
+        c.add_output("g")
+        generator = StuckAtGenerator(CircuitBdd(c))
+        result = generator.generate(stem_fault("or1", 1))
+        assert result.status is TestStatus.UNTESTABLE
+
+    def test_constant_line_activation_impossible(self):
+        c = Circuit("const")
+        c.add_input("a")
+        c.add_gate("zero", "CONST0", ())
+        c.or_("g", "a", "zero")
+        c.add_output("g")
+        generator = StuckAtGenerator(CircuitBdd(c))
+        result = generator.generate(stem_fault("zero", 0))
+        assert result.status is TestStatus.UNTESTABLE
+
+
+class TestConstraints:
+    def test_constraint_kills_fault(self):
+        circuit = fig3_circuit()
+        cbdd = CircuitBdd(circuit)
+        fc = cbdd.mgr.or_(cbdd.mgr.var("l0"), cbdd.mgr.var("l2"))
+        generator = StuckAtGenerator(cbdd, constraint=fc)
+        result = generator.generate(stem_fault("l3", 0))
+        assert result.status is TestStatus.CONSTRAINED_UNTESTABLE
+
+    def test_vectors_satisfy_constraint(self):
+        circuit = fig3_circuit()
+        cbdd = CircuitBdd(circuit)
+        fc = cbdd.mgr.or_(cbdd.mgr.var("l0"), cbdd.mgr.var("l2"))
+        generator = StuckAtGenerator(cbdd, constraint=fc)
+        for fault in fault_universe(circuit, include_branches=False):
+            result = generator.generate(fault)
+            if result.status is TestStatus.DETECTED:
+                assert cbdd.mgr.evaluate(fc, result.vector) == 1
+
+    def test_false_constraint_kills_everything(self):
+        circuit = fig3_circuit()
+        cbdd = CircuitBdd(circuit)
+        generator = StuckAtGenerator(cbdd, constraint=FALSE)
+        result = generator.generate(stem_fault("l4", 0))
+        assert result.status is TestStatus.CONSTRAINED_UNTESTABLE
+
+
+class TestAlgebra:
+    def test_activation_function_polarity(self):
+        circuit = fig3_circuit()
+        generator = StuckAtGenerator(CircuitBdd(circuit))
+        act0 = generator.activation_function(stem_fault("l1", 0))
+        act1 = generator.activation_function(stem_fault("l1", 1))
+        mgr = generator.mgr
+        assert act0 == mgr.var("l1")
+        assert act1 == mgr.nvar("l1")
+
+    def test_test_set_size_counted(self):
+        circuit = fig3_circuit()
+        generator = StuckAtGenerator(
+            CircuitBdd(circuit), count_vectors=True
+        )
+        result = generator.generate(stem_fault("l4", 0))
+        assert result.test_set_size is not None
+        assert result.test_set_size > 0
+
+    def test_propagation_cache_hit(self):
+        circuit = fig3_circuit()
+        generator = StuckAtGenerator(CircuitBdd(circuit))
+        first = generator.propagation_function(stem_fault("l3", 0))
+        second = generator.propagation_function(stem_fault("l3", 1))
+        assert first is second  # same site, cached
+
+    def test_test_set_unconstrained_flag(self):
+        circuit = fig3_circuit()
+        cbdd = CircuitBdd(circuit)
+        fc = cbdd.mgr.var("l0")
+        generator = StuckAtGenerator(cbdd, constraint=fc)
+        fault = stem_fault("l4", 0)
+        constrained = generator.test_set(fault, constrained=True)
+        free = generator.test_set(fault, constrained=False)
+        mgr = cbdd.mgr
+        assert constrained == mgr.and_(free, fc)

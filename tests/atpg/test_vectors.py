@@ -1,0 +1,61 @@
+"""Tests for test-program record types and formatting."""
+
+from repro.atpg import (
+    AnalogStimulus,
+    DigitalVector,
+    MixedTestStep,
+    format_program,
+)
+
+
+class TestDigitalVector:
+    def test_from_mapping_normalizes_order(self):
+        v1 = DigitalVector.from_mapping({"b": 1, "a": 0})
+        v2 = DigitalVector.from_mapping({"a": 0, "b": 1})
+        assert v1 == v2
+        assert hash(v1) == hash(v2)
+
+    def test_as_dict_round_trip(self):
+        original = {"x": 1, "y": 0}
+        assert DigitalVector.from_mapping(original).as_dict() == original
+
+    def test_str(self):
+        assert str(DigitalVector.from_mapping({"a": 1})) == "[a=1]"
+
+
+class TestAnalogStimulus:
+    def test_dc_rendering(self):
+        s = AnalogStimulus(2.5, 0.0)
+        assert "DC level" in str(s)
+
+    def test_sine_rendering(self):
+        s = AnalogStimulus(1.0, 10_000.0, "test A2")
+        text = str(s)
+        assert "sine" in text and "1e+04" in text and "test A2" in text
+
+
+class TestMixedTestStep:
+    def test_full_step_rendering(self):
+        step = MixedTestStep(
+            target="Rd +12%",
+            stimulus=AnalogStimulus(0.5, 2500.0),
+            vector=DigitalVector.from_mapping({"l1": 1}),
+            observe="Vo1",
+            expected=1,
+        )
+        text = str(step)
+        assert "Rd +12%" in text
+        assert "observe Vo1 (good = 1)" in text
+
+    def test_minimal_step(self):
+        step = MixedTestStep(target="x")
+        assert str(step) == "target x"
+
+
+class TestProgram:
+    def test_format_program_numbers_steps(self):
+        steps = [MixedTestStep(target=f"t{i}") for i in range(3)]
+        text = format_program(steps, title="demo")
+        assert text.splitlines()[0] == "== demo =="
+        assert "   1. target t0" in text
+        assert "   3. target t2" in text

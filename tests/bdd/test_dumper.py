@@ -1,0 +1,40 @@
+"""Tests for the DOT and text renderers."""
+
+from repro.bdd import FALSE, TRUE, BddManager, to_dot, to_text
+
+
+def test_dot_contains_nodes_and_edges():
+    mgr = BddManager(["x", "y"])
+    f = mgr.and_(mgr.var("x"), mgr.var("y"))
+    dot = to_dot(mgr, f, name="g")
+    assert dot.startswith("digraph g {")
+    assert 'label="x"' in dot
+    assert 'label="y"' in dot
+    assert "style=dashed" in dot and "style=solid" in dot
+
+
+def test_dot_terminals_always_present():
+    mgr = BddManager(["x"])
+    dot = to_dot(mgr, mgr.var("x"))
+    assert 'node0 [label="0"' in dot
+    assert 'node1 [label="1"' in dot
+
+
+def test_text_constants():
+    mgr = BddManager(["x"])
+    assert to_text(mgr, TRUE) == "const 1"
+    assert to_text(mgr, FALSE) == "const 0"
+
+
+def test_text_stable_for_equal_functions():
+    mgr = BddManager(["x", "y"])
+    f1 = mgr.and_(mgr.var("x"), mgr.var("y"))
+    f2 = mgr.and_(mgr.var("y"), mgr.var("x"))
+    assert to_text(mgr, f1) == to_text(mgr, f2)
+
+
+def test_text_mentions_variables():
+    mgr = BddManager(["x", "y"])
+    text = to_text(mgr, mgr.xor(mgr.var("x"), mgr.var("y")))
+    assert "x ?" in text
+    assert "root" in text

@@ -1,0 +1,208 @@
+"""Unit tests for the ROBDD manager."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddError, BddManager
+
+
+@pytest.fixture()
+def mgr():
+    return BddManager(["a", "b", "c"])
+
+
+class TestVariables:
+    def test_var_returns_canonical_node(self, mgr):
+        assert mgr.var("a") == mgr.var("a")
+
+    def test_nvar_is_complement(self, mgr):
+        assert mgr.nvar("a") == mgr.not_(mgr.var("a"))
+
+    def test_duplicate_declaration_rejected(self, mgr):
+        with pytest.raises(BddError):
+            mgr.add_variable("a")
+
+    def test_new_variable_appends_to_order(self, mgr):
+        mgr.var("z")
+        assert mgr.variable_order == ("a", "b", "c", "z")
+
+    def test_level_of_unknown_raises(self, mgr):
+        with pytest.raises(BddError):
+            mgr.level_of("nope")
+
+    def test_has_variable(self, mgr):
+        assert mgr.has_variable("a")
+        assert not mgr.has_variable("q")
+
+
+class TestConnectives:
+    def test_and_truth(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        assert mgr.evaluate(f, {"a": 1, "b": 1}) == 1
+        assert mgr.evaluate(f, {"a": 1, "b": 0}) == 0
+
+    def test_or_truth(self, mgr):
+        f = mgr.or_(mgr.var("a"), mgr.var("b"))
+        assert mgr.evaluate(f, {"a": 0, "b": 0}) == 0
+        assert mgr.evaluate(f, {"a": 0, "b": 1}) == 1
+
+    def test_xor_xnor_complementary(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.not_(mgr.xor(a, b)) == mgr.xnor(a, b)
+
+    def test_empty_and_is_true(self, mgr):
+        assert mgr.and_() == TRUE
+
+    def test_empty_or_is_false(self, mgr):
+        assert mgr.or_() == FALSE
+
+    def test_nand_nor(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.nand(a, b) == mgr.not_(mgr.and_(a, b))
+        assert mgr.nor(a, b) == mgr.not_(mgr.or_(a, b))
+
+    def test_implies(self, mgr):
+        f = mgr.implies(mgr.var("a"), mgr.var("b"))
+        assert mgr.evaluate(f, {"a": 1, "b": 0}) == 0
+        assert mgr.evaluate(f, {"a": 0, "b": 0}) == 1
+
+    def test_double_negation(self, mgr):
+        a = mgr.var("a")
+        assert mgr.not_(mgr.not_(a)) == a
+
+    def test_ite_identity_cases(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.ite(TRUE, a, b) == a
+        assert mgr.ite(FALSE, a, b) == b
+        assert mgr.ite(a, TRUE, FALSE) == a
+        assert mgr.ite(a, b, b) == b
+
+
+class TestCanonicity:
+    def test_structural_sharing(self, mgr):
+        # Same function built two ways interns to the same node.
+        a, b = mgr.var("a"), mgr.var("b")
+        f1 = mgr.not_(mgr.and_(a, b))
+        f2 = mgr.or_(mgr.not_(a), mgr.not_(b))  # De Morgan
+        assert f1 == f2
+
+    def test_tautology_collapses_to_true(self, mgr):
+        a = mgr.var("a")
+        assert mgr.or_(a, mgr.not_(a)) == TRUE
+
+    def test_contradiction_collapses_to_false(self, mgr):
+        a = mgr.var("a")
+        assert mgr.and_(a, mgr.not_(a)) == FALSE
+
+
+class TestStructuralOps:
+    def test_restrict(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        assert mgr.restrict(f, "a", 1) == mgr.var("b")
+        assert mgr.restrict(f, "a", 0) == FALSE
+
+    def test_restrict_bad_value(self, mgr):
+        with pytest.raises(BddError):
+            mgr.restrict(mgr.var("a"), "a", 2)
+
+    def test_cofactors(self, mgr):
+        f = mgr.or_(mgr.var("a"), mgr.var("b"))
+        f0, f1 = mgr.cofactors(f, "a")
+        assert f0 == mgr.var("b")
+        assert f1 == TRUE
+
+    def test_compose(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        g = mgr.or_(mgr.var("b"), mgr.var("c"))
+        composed = mgr.compose(f, "a", g)
+        # (b+c)·b == b
+        assert composed == mgr.var("b")
+
+    def test_exists_forall(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        assert mgr.exists(f, ["a"]) == mgr.var("b")
+        assert mgr.forall(f, ["a"]) == FALSE
+
+    def test_boolean_difference_xor_depends(self, mgr):
+        f = mgr.xor(mgr.var("a"), mgr.var("b"))
+        assert mgr.boolean_difference(f, "a") == TRUE
+
+    def test_boolean_difference_independent(self, mgr):
+        f = mgr.var("b")
+        assert mgr.boolean_difference(f, "a") == FALSE
+
+    def test_depends_on(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("c"))
+        assert mgr.depends_on(f, "a")
+        assert not mgr.depends_on(f, "b")
+
+    def test_support(self, mgr):
+        f = mgr.ite(mgr.var("a"), mgr.var("b"), mgr.var("c"))
+        assert mgr.support(f) == {"a", "b", "c"}
+
+    def test_size_counts_internal_nodes(self, mgr):
+        assert mgr.size(TRUE) == 0
+        assert mgr.size(mgr.var("a")) == 1
+
+
+class TestSat:
+    def test_any_sat_none_for_false(self, mgr):
+        assert mgr.any_sat(FALSE) is None
+
+    def test_any_sat_satisfies(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.nvar("b"))
+        assignment = mgr.any_sat(f)
+        assert mgr.evaluate(f, {**{"a": 0, "b": 0, "c": 0}, **assignment}) == 1
+
+    def test_all_sats_count(self, mgr):
+        f = mgr.or_(mgr.var("a"), mgr.var("b"))
+        sats = list(mgr.all_sats(f, ["a", "b"]))
+        assert len(sats) == 3
+
+    def test_all_sats_missing_support_raises(self, mgr):
+        f = mgr.var("a")
+        with pytest.raises(BddError):
+            list(mgr.all_sats(f, ["b"]))
+
+    def test_sat_count(self, mgr):
+        f = mgr.or_(mgr.var("a"), mgr.var("b"))
+        # Over 3 declared variables: 3 * 2 = 6 minterms.
+        assert mgr.sat_count(f) == 6
+        assert mgr.sat_count(f, 2) == 3
+
+    def test_sat_count_constants(self, mgr):
+        assert mgr.sat_count(TRUE) == 8
+        assert mgr.sat_count(FALSE) == 0
+
+    def test_evaluate_missing_binding_raises(self, mgr):
+        f = mgr.var("a")
+        with pytest.raises(BddError):
+            mgr.evaluate(f, {})
+
+
+class TestBuilders:
+    def test_cube(self, mgr):
+        f = mgr.cube({"a": 1, "b": 0})
+        assert mgr.evaluate(f, {"a": 1, "b": 0, "c": 0}) == 1
+        assert mgr.evaluate(f, {"a": 1, "b": 1, "c": 0}) == 0
+
+    def test_from_minterms(self, mgr):
+        f = mgr.from_minterms(["a", "b"], [0b10])
+        assert f == mgr.cube({"a": 1, "b": 0})
+
+    def test_from_truth_table(self, mgr):
+        # XOR truth table over (a, b).
+        f = mgr.from_truth_table(["a", "b"], [0, 1, 1, 0])
+        assert f == mgr.xor(mgr.var("a"), mgr.var("b"))
+
+    def test_from_truth_table_wrong_length(self, mgr):
+        with pytest.raises(BddError):
+            mgr.from_truth_table(["a"], [0, 1, 1])
+
+    def test_node_info_terminal_raises(self, mgr):
+        with pytest.raises(BddError):
+            mgr.node_info(TRUE)
+
+    def test_clear_operation_cache_keeps_nodes(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        mgr.clear_operation_cache()
+        assert mgr.and_(mgr.var("a"), mgr.var("b")) == f

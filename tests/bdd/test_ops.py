@@ -1,0 +1,96 @@
+"""Tests for the higher-level BDD operations."""
+
+import pytest
+
+from repro.bdd import (
+    FALSE,
+    TRUE,
+    BddManager,
+    constraint_from_terms,
+    cofactor_generalized,
+    equivalent,
+    is_contradiction,
+    is_tautology,
+    minimize_path,
+    project,
+)
+
+
+@pytest.fixture()
+def mgr():
+    return BddManager(["a", "b", "c"])
+
+
+class TestConstraintFromTerms:
+    def test_empty_terms_is_false(self, mgr):
+        assert constraint_from_terms(mgr, []) == FALSE
+
+    def test_single_empty_term_is_true(self, mgr):
+        # The paper: "if all the assignments are allowed, Fc = 1".
+        assert constraint_from_terms(mgr, [{}]) == TRUE
+
+    def test_terms_are_summed(self, mgr):
+        fc = constraint_from_terms(mgr, [{"a": 1}, {"b": 1}])
+        assert fc == mgr.or_(mgr.var("a"), mgr.var("b"))
+
+    def test_product_terms(self, mgr):
+        fc = constraint_from_terms(mgr, [{"a": 1, "b": 0}])
+        assert mgr.evaluate(fc, {"a": 1, "b": 0, "c": 0}) == 1
+        assert mgr.evaluate(fc, {"a": 1, "b": 1, "c": 0}) == 0
+
+
+class TestMinimizePath:
+    def test_none_for_false(self, mgr):
+        assert minimize_path(mgr, FALSE) is None
+
+    def test_prefers_given_values(self, mgr):
+        f = mgr.or_(mgr.var("a"), mgr.var("b"))
+        path = minimize_path(mgr, f, preferred={"a": 0, "b": 1})
+        full = {"a": 0, "b": 0, "c": 0}
+        full.update(path)
+        assert mgr.evaluate(f, full) == 1
+        assert path.get("a", 0) == 0  # honored the preference
+
+    def test_defaults_to_zero(self, mgr):
+        f = mgr.or_(mgr.var("a"), mgr.not_(mgr.var("b")))
+        path = minimize_path(mgr, f)
+        assert path.get("a", 0) == 0  # chose the b=0 branch instead
+
+
+class TestProject:
+    def test_project_drops_variables(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        g = project(mgr, f, ["a"])
+        assert g == mgr.var("a")
+
+    def test_project_keep_all_is_identity(self, mgr):
+        f = mgr.xor(mgr.var("a"), mgr.var("b"))
+        assert project(mgr, f, ["a", "b"]) == f
+
+
+class TestGeneralizedCofactor:
+    def test_cube_care_restricts(self, mgr):
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        care = mgr.cube({"a": 1})
+        assert cofactor_generalized(mgr, f, care) == mgr.var("b")
+
+    def test_false_care(self, mgr):
+        assert cofactor_generalized(mgr, mgr.var("a"), FALSE) == FALSE
+
+    def test_non_cube_care_falls_back_to_product(self, mgr):
+        f = mgr.var("a")
+        care = mgr.or_(mgr.var("b"), mgr.var("c"))
+        assert cofactor_generalized(mgr, f, care) == mgr.and_(f, care)
+
+
+class TestPredicates:
+    def test_tautology_contradiction(self):
+        assert is_tautology(TRUE)
+        assert not is_tautology(FALSE)
+        assert is_contradiction(FALSE)
+        assert not is_contradiction(TRUE)
+
+    def test_equivalent_is_node_equality(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert equivalent(mgr.and_(a, b), mgr.and_(b, a))
+        assert not equivalent(a, b)

@@ -1,0 +1,152 @@
+"""Property-based tests of the BDD engine against truth-table semantics."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager
+
+VARIABLES = ["v0", "v1", "v2", "v3", "v4"]
+
+
+def expressions(depth: int = 4):
+    """Random Boolean expression trees as nested tuples."""
+    leaves = st.sampled_from([("var", name) for name in VARIABLES] + [
+        ("const", 0), ("const", 1),
+    ])
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.sampled_from(["and", "or", "xor"]), children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def build(mgr: BddManager, expr) -> int:
+    op = expr[0]
+    if op == "var":
+        return mgr.var(expr[1])
+    if op == "const":
+        return TRUE if expr[1] else FALSE
+    if op == "not":
+        return mgr.not_(build(mgr, expr[1]))
+    lhs, rhs = build(mgr, expr[1]), build(mgr, expr[2])
+    if op == "and":
+        return mgr.and_(lhs, rhs)
+    if op == "or":
+        return mgr.or_(lhs, rhs)
+    return mgr.xor(lhs, rhs)
+
+
+def evaluate_expr(expr, assignment) -> int:
+    op = expr[0]
+    if op == "var":
+        return assignment[expr[1]]
+    if op == "const":
+        return expr[1]
+    if op == "not":
+        return 1 - evaluate_expr(expr[1], assignment)
+    lhs = evaluate_expr(expr[1], assignment)
+    rhs = evaluate_expr(expr[2], assignment)
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    return lhs ^ rhs
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_bdd_matches_truth_table(expr):
+    """The BDD evaluates identically to direct expression evaluation."""
+    mgr = BddManager(VARIABLES)
+    f = build(mgr, expr)
+    for bits in itertools.product((0, 1), repeat=len(VARIABLES)):
+        assignment = dict(zip(VARIABLES, bits))
+        assert mgr.evaluate(f, assignment) == evaluate_expr(expr, assignment)
+
+
+@given(expressions(), expressions())
+@settings(max_examples=80, deadline=None)
+def test_canonicity(e1, e2):
+    """Two expressions are the same node iff they are the same function."""
+    mgr = BddManager(VARIABLES)
+    f1, f2 = build(mgr, e1), build(mgr, e2)
+    equal_function = all(
+        evaluate_expr(e1, dict(zip(VARIABLES, bits)))
+        == evaluate_expr(e2, dict(zip(VARIABLES, bits)))
+        for bits in itertools.product((0, 1), repeat=len(VARIABLES))
+    )
+    assert (f1 == f2) == equal_function
+
+
+@given(expressions())
+@settings(max_examples=80, deadline=None)
+def test_sat_count_matches_enumeration(expr):
+    mgr = BddManager(VARIABLES)
+    f = build(mgr, expr)
+    expected = sum(
+        evaluate_expr(expr, dict(zip(VARIABLES, bits)))
+        for bits in itertools.product((0, 1), repeat=len(VARIABLES))
+    )
+    assert mgr.sat_count(f) == expected
+
+
+@given(expressions(), st.sampled_from(VARIABLES), st.integers(0, 1))
+@settings(max_examples=80, deadline=None)
+def test_restrict_semantics(expr, name, value):
+    """f|x=v evaluates like f with x pinned."""
+    mgr = BddManager(VARIABLES)
+    f = build(mgr, expr)
+    restricted = mgr.restrict(f, name, value)
+    for bits in itertools.product((0, 1), repeat=len(VARIABLES)):
+        assignment = dict(zip(VARIABLES, bits))
+        pinned = dict(assignment)
+        pinned[name] = value
+        assert mgr.evaluate(restricted, assignment) == mgr.evaluate(f, pinned)
+
+
+@given(expressions())
+@settings(max_examples=60, deadline=None)
+def test_shannon_expansion(expr):
+    """f == x·f|x=1 + x̄·f|x=0 for the top variable."""
+    mgr = BddManager(VARIABLES)
+    f = build(mgr, expr)
+    if f in (TRUE, FALSE):
+        return
+    name = mgr.top_var(f)
+    f0, f1 = mgr.cofactors(f, name)
+    rebuilt = mgr.ite(mgr.var(name), f1, f0)
+    assert rebuilt == f
+
+
+@given(expressions())
+@settings(max_examples=60, deadline=None)
+def test_any_sat_is_satisfying(expr):
+    mgr = BddManager(VARIABLES)
+    f = build(mgr, expr)
+    assignment = mgr.any_sat(f)
+    if assignment is None:
+        assert f == FALSE
+    else:
+        full = {name: 0 for name in VARIABLES}
+        full.update(assignment)
+        assert mgr.evaluate(f, full) == 1
+
+
+@given(expressions(), st.sampled_from(VARIABLES))
+@settings(max_examples=60, deadline=None)
+def test_boolean_difference_detects_dependence(expr, name):
+    """∂f/∂x == 0 iff f is independent of x."""
+    mgr = BddManager(VARIABLES)
+    f = build(mgr, expr)
+    diff = mgr.boolean_difference(f, name)
+    independent = all(
+        evaluate_expr(expr, {**dict(zip(VARIABLES, bits)), name: 0})
+        == evaluate_expr(expr, {**dict(zip(VARIABLES, bits)), name: 1})
+        for bits in itertools.product((0, 1), repeat=len(VARIABLES))
+    )
+    assert (diff == FALSE) == independent

@@ -1,0 +1,80 @@
+"""Tests for conversion-block constraint functions."""
+
+import pytest
+
+from repro.bdd import BddManager, TRUE
+from repro.conversion import (
+    constraint_for_lines,
+    pair_exclusion_constraint,
+    random_line_assignment,
+    thermometer_constraint,
+    thermometer_terms,
+)
+
+
+class TestThermometer:
+    def test_sat_count_is_k_plus_one(self):
+        lines = ["t0", "t1", "t2", "t3"]
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        assert mgr.sat_count(fc) == 5  # 4 lines -> 5 codes
+
+    def test_valid_codes_accepted(self):
+        lines = ["t0", "t1", "t2"]
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        assert mgr.evaluate(fc, {"t0": 1, "t1": 1, "t2": 0}) == 1
+        assert mgr.evaluate(fc, {"t0": 0, "t1": 0, "t2": 0}) == 1
+
+    def test_invalid_codes_rejected(self):
+        lines = ["t0", "t1", "t2"]
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        assert mgr.evaluate(fc, {"t0": 0, "t1": 1, "t2": 0}) == 0
+        assert mgr.evaluate(fc, {"t0": 1, "t1": 0, "t2": 1}) == 0
+
+    def test_single_line_unconstrained(self):
+        mgr = BddManager(["t0"])
+        assert thermometer_constraint(mgr, ["t0"]) == TRUE
+
+    def test_terms_match_bdd(self):
+        lines = ["a", "b", "c"]
+        mgr = BddManager(lines)
+        fc = thermometer_constraint(mgr, lines)
+        for term in thermometer_terms(lines):
+            assert mgr.evaluate(fc, term) == 1
+        assert len(thermometer_terms(lines)) == 4
+
+    def test_builder_for_run_atpg(self):
+        builder = constraint_for_lines(["a", "b"])
+        mgr = BddManager(["a", "b"])
+        fc = builder(mgr)
+        assert mgr.sat_count(fc) == 3
+
+
+class TestRandomAssignment:
+    def test_deterministic(self):
+        names = [f"I{i}" for i in range(40)]
+        assert random_line_assignment(names, 15, seed=7) == (
+            random_line_assignment(names, 15, seed=7)
+        )
+
+    def test_distinct_lines(self):
+        names = [f"I{i}" for i in range(40)]
+        chosen = random_line_assignment(names, 15, seed=3)
+        assert len(set(chosen)) == 15
+        assert set(chosen) <= set(names)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            random_line_assignment(["a"], 2, seed=1)
+
+
+class TestPairExclusion:
+    def test_both_zero_unreachable(self):
+        builder = pair_exclusion_constraint("l0", "l2")
+        mgr = BddManager(["l0", "l2"])
+        fc = builder(mgr)
+        assert mgr.evaluate(fc, {"l0": 0, "l2": 0}) == 0
+        assert mgr.evaluate(fc, {"l0": 1, "l2": 0}) == 1
+        assert mgr.sat_count(fc) == 3

@@ -1,0 +1,83 @@
+"""Tests for the thermometer encoders and the behavioural ADC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conversion import BehaviouralAdc, popcount_encoder, transition_encoder
+from repro.digital import simulate
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("width", [3, 7, 15])
+    def test_counts_thermometer_codes(self, width):
+        encoder = popcount_encoder(width)
+        n_bits = len(encoder.outputs)
+        for level in range(width + 1):
+            assignment = {
+                f"T{i}": 1 if i < level else 0 for i in range(width)
+            }
+            values = simulate(encoder, assignment)
+            code = sum(
+                values[f"B{b}"] << b for b in range(n_bits)
+            )
+            assert code == level
+
+    @given(st.integers(0, 2**15 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_counts_arbitrary_words(self, word):
+        encoder = popcount_encoder(15)
+        assignment = {f"T{i}": (word >> i) & 1 for i in range(15)}
+        values = simulate(encoder, assignment)
+        code = sum(values[f"B{b}"] << b for b in range(4))
+        assert code == bin(word).count("1")
+
+
+class TestTransition:
+    def test_one_hot_on_valid_codes(self):
+        encoder = transition_encoder(6)
+        for level in range(7):
+            assignment = {f"T{i}": 1 if i < level else 0 for i in range(6)}
+            values = simulate(encoder, assignment)
+            hots = [values[f"H{i}"] for i in range(6)]
+            assert sum(hots) == (1 if level else 0)
+            if level:
+                assert hots[level - 1] == 1
+
+
+class TestBehaviouralAdc:
+    def test_levels_and_lsb(self):
+        adc = BehaviouralAdc(bits=8, v_low=0.0, v_high=5.0)
+        assert adc.levels == 256
+        assert adc.lsb == pytest.approx(5.0 / 256)
+
+    def test_clipping(self):
+        adc = BehaviouralAdc(bits=4, v_low=0.0, v_high=1.0)
+        assert adc.convert(-1.0) == 0
+        assert adc.convert(2.0) == 15
+
+    @given(st.floats(min_value=0.0, max_value=4.999))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone(self, v):
+        adc = BehaviouralAdc(bits=8)
+        assert adc.convert(v) <= adc.convert(min(v + 0.1, 4.999))
+
+    def test_bits_round_trip(self):
+        adc = BehaviouralAdc(bits=8)
+        code = adc.convert(2.5)
+        bits = adc.convert_bits(2.5)
+        assert sum(b << i for i, b in enumerate(bits)) == code
+        msb = adc.convert_bits(2.5, msb_first=True)
+        assert msb == list(reversed(bits))
+
+    def test_midpoint_inverts(self):
+        adc = BehaviouralAdc(bits=8)
+        for code in (0, 17, 255):
+            assert adc.convert(adc.midpoint(code)) == code
+
+    def test_offset_and_gain_faults(self):
+        good = BehaviouralAdc(bits=8)
+        offset = BehaviouralAdc(bits=8, offset_error_lsb=3.0)
+        gain = BehaviouralAdc(bits=8, gain_error=0.05)
+        assert offset.convert(2.5) == good.convert(2.5) + 3
+        assert gain.convert(2.5) > good.convert(2.5)

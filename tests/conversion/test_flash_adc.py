@@ -1,0 +1,75 @@
+"""Tests for the flash ADC model (cross-validated against MNA)."""
+
+import pytest
+
+from repro.conversion import FlashAdc
+from repro.spice import MnaSolver
+
+
+class TestThresholds:
+    def test_uniform_ladder_taps(self):
+        adc = FlashAdc(n_comparators=4, v_top=5.0)
+        assert adc.thresholds() == pytest.approx([1.0, 2.0, 3.0, 4.0])
+
+    def test_monotone_thresholds(self):
+        adc = FlashAdc()
+        taps = adc.thresholds()
+        assert all(a < b for a, b in zip(taps, taps[1:]))
+
+    def test_resistor_count_enforced(self):
+        with pytest.raises(ValueError):
+            FlashAdc(n_comparators=4, resistor_values=[1000.0] * 4)
+
+    def test_analytic_matches_mna(self):
+        # The closed-form taps must agree with a real ladder solve.
+        adc = FlashAdc(n_comparators=7, v_top=5.0)
+        adc.set_deviation("R3", 0.3)
+        circuit = adc.as_circuit()
+        solution = MnaSolver(circuit).solve_dc()
+        for index, expected in enumerate(adc.thresholds()):
+            measured = solution.voltage(f"t{index + 1}").real
+            # The solver's GMIN (1e-12 S to ground) perturbs at ~1e-9.
+            assert measured == pytest.approx(expected, rel=1e-6)
+
+
+class TestConversion:
+    def test_thermometer_codes(self):
+        adc = FlashAdc(n_comparators=4, v_top=5.0)
+        assert adc.convert(0.5) == (0, 0, 0, 0)
+        assert adc.convert(2.5) == (1, 1, 0, 0)
+        assert adc.convert(9.9) == (1, 1, 1, 1)
+
+    def test_code_counts_ones(self):
+        adc = FlashAdc(n_comparators=15)
+        assert adc.code(adc.v_top) == 15
+        assert adc.code(0.0) == 0
+
+    def test_output_names(self):
+        adc = FlashAdc(n_comparators=3)
+        assert adc.output_names("x") == ["x0", "x1", "x2"]
+
+
+class TestDeviations:
+    def test_deviation_shifts_taps(self):
+        adc = FlashAdc(n_comparators=4, v_top=5.0)
+        nominal = adc.thresholds()
+        adc.set_deviation("R1", 1.0)  # bottom resistor doubles
+        shifted = adc.thresholds()
+        assert all(s > n for s, n in zip(shifted, nominal))
+
+    def test_with_deviations_scope(self):
+        adc = FlashAdc(n_comparators=4)
+        nominal = adc.threshold(0)
+        with adc.with_deviations({"R1": 0.5}):
+            assert adc.threshold(0) != nominal
+        assert adc.threshold(0) == nominal
+
+    def test_unknown_resistor_rejected(self):
+        with pytest.raises(ValueError):
+            FlashAdc(n_comparators=2).set_deviation("R99", 0.1)
+
+    def test_clear_deviations(self):
+        adc = FlashAdc(n_comparators=2)
+        adc.set_deviation("R1", 0.5)
+        adc.clear_deviations()
+        assert adc.thresholds() == pytest.approx([5.0 / 3, 10.0 / 3])

@@ -1,0 +1,70 @@
+"""Tests for the simulated Figure 8 validation board."""
+
+import pytest
+
+from repro.analog import deviation_matrix
+from repro.circuits import state_variable_parameters
+from repro.core import StateVariableBoard
+
+
+@pytest.fixture(scope="module")
+def board():
+    return StateVariableBoard(seed=1995)
+
+
+class TestRealization:
+    def test_deterministic_per_seed(self):
+        a = StateVariableBoard(seed=42)
+        b = StateVariableBoard(seed=42)
+        assert a.realization == b.realization
+
+    def test_different_seeds_differ(self):
+        a = StateVariableBoard(seed=1)
+        b = StateVariableBoard(seed=2)
+        assert a.realization != b.realization
+
+    def test_spread_is_bounded(self, board):
+        # 2 % sigma: 5-sigma outliers are effectively impossible.
+        assert all(abs(d) < 0.10 for d in board.realization.values())
+
+
+class TestMeasurement:
+    def test_measurement_noise_applied(self, board):
+        parameter = board.parameters[2]  # A3dc, a cheap DC measure
+        values = {board.measure(parameter) for _ in range(5)}
+        assert len(values) > 1  # noise makes repeats differ
+
+    def test_fault_shifts_measurement(self, board):
+        parameter = board.parameters[2]  # A3dc
+        nominal = board.measure(parameter)
+        faulty = board.measure(parameter, {"R2": 0.5})
+        assert abs(faulty - nominal) / nominal > 0.10
+
+
+class TestDigitalResponse:
+    def test_baseline_in_range(self, board):
+        response = board.digital_response()
+        assert 0 <= response < 32  # 5-bit adder result
+
+    def test_gross_fault_changes_code(self, board):
+        baseline = board.digital_response()
+        faulty = board.digital_response({"R2": 0.8})
+        assert faulty != baseline
+
+
+class TestTable8:
+    def test_rows_with_cheap_matrix(self, board):
+        # Restrict to the inexpensive DC/AC-gain parameters so the test
+        # stays fast; the full set runs in the benchmark.
+        cheap = [
+            p for p in state_variable_parameters() if p.name != "fh1"
+        ]
+        matrix = deviation_matrix(
+            board.circuit, cheap, elements=["R1", "R2", "R8"]
+        )
+        rows = board.table8(matrix)
+        assert rows
+        for row in rows:
+            assert row.cd_percent > 0
+            assert row.mpd_percent > 5.0  # out of the tolerance box
+            assert row.out_of_box

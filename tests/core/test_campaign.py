@@ -1,0 +1,53 @@
+"""Tests for the fault-injection campaign."""
+
+import pytest
+
+from repro.circuits import fig4_mixed_circuit
+from repro.core import MixedSignalTestGenerator, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    mixed = fig4_mixed_circuit()
+    report = MixedSignalTestGenerator(mixed).run(include_digital=False)
+    result = run_campaign(
+        mixed, report, faults_per_element=4, seed=7
+    )
+    return result
+
+
+class TestCampaign:
+    def test_population_size(self, campaign):
+        assert campaign.n_injected == 8 * 4  # 8 elements x 4 faults
+
+    def test_guaranteed_faults_all_detected(self, campaign):
+        # The method's core promise: deviations beyond the computed
+        # worst case are always caught.
+        assert campaign.guaranteed_detection_rate == 1.0
+
+    def test_overall_rate_reasonable(self, campaign):
+        # Sub-threshold faults may escape (they are inside the guaranteed
+        # band), but the program should still catch a solid majority.
+        assert campaign.detection_rate() > 0.6
+
+    def test_outcomes_recorded(self, campaign):
+        for outcome in campaign.outcomes:
+            assert outcome.severity > 0
+            if outcome.detected:
+                assert outcome.detecting_target is not None
+
+    def test_summary_text(self, campaign):
+        text = campaign.summary()
+        assert "faults injected" in text
+
+    def test_deterministic(self):
+        mixed = fig4_mixed_circuit()
+        report = MixedSignalTestGenerator(mixed).run(include_digital=False)
+        a = run_campaign(mixed, report, faults_per_element=2, seed=3)
+        b = run_campaign(mixed, report, faults_per_element=2, seed=3)
+        assert [o.deviation for o in a.outcomes] == [
+            o.deviation for o in b.outcomes
+        ]
+
+    def test_empty_severity_band(self, campaign):
+        assert campaign.detection_rate(min_severity=100.0) == 1.0

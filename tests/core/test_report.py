@@ -1,0 +1,44 @@
+"""Tests for the table renderer."""
+
+import math
+
+import pytest
+
+from repro.core import format_ed, format_seconds, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1], ["long", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_infinity_rendered_as_dash(self):
+        text = format_table(["h"], [[math.inf]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_float_formatting(self):
+        text = format_table(["h"], [[3.14159]])
+        assert "3.1" in text
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestScalars:
+    def test_format_ed(self):
+        assert format_ed(12.345) == "12.3"
+        assert format_ed(math.inf) == "-"
+        assert format_ed(None) == "-"
+        assert format_ed(5.0, width=8) == "     5.0"
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005) == "0us"
+        assert format_seconds(0.0005) == "500us"
+        assert format_seconds(0.5) == "500ms"
+        assert format_seconds(2.5) == "2.50s"

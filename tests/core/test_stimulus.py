@@ -1,0 +1,98 @@
+"""Tests for Table 1 stimulus selection."""
+
+import pytest
+
+from repro.atpg import CompositeValue
+from repro.circuits import bandpass_filter, bandpass_parameters
+from repro.core import Bound, choose_stimulus, gain_exchange_rate
+from repro.spice import gain_at
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return bandpass_filter()
+
+
+@pytest.fixture(scope="module")
+def parameters():
+    return {p.name: p for p in bandpass_parameters()}
+
+
+class TestChooseStimulus:
+    def test_lower_bound_gives_d(self, circuit, parameters):
+        choice = choose_stimulus(circuit, parameters["A2"], Bound.LOWER, 1.0)
+        assert choice.composite is CompositeValue.D
+        assert choice.good_value == 1
+
+    def test_upper_bound_gives_dbar(self, circuit, parameters):
+        choice = choose_stimulus(circuit, parameters["A2"], Bound.UPPER, 1.0)
+        assert choice.composite is CompositeValue.D_BAR
+        assert choice.good_value == 0
+
+    def test_good_circuit_peak_on_expected_side(self, circuit, parameters):
+        vref = 1.0
+        for bound, expected in ((Bound.LOWER, 1), (Bound.UPPER, 0)):
+            choice = choose_stimulus(
+                circuit, parameters["A2"], bound, vref
+            )
+            peak = choice.stimulus.amplitude * gain_at(
+                circuit, "Vin", "V1", choice.stimulus.frequency_hz
+            )
+            assert (peak > vref) == bool(expected)
+
+    def test_faulty_gain_crosses_reference(self, circuit, parameters):
+        # A gain fault just beyond the bound must flip the comparator.
+        vref = 1.0
+        x = 0.05
+        choice = choose_stimulus(
+            circuit, parameters["A2"], Bound.LOWER, vref, x=x
+        )
+        nominal_gain = gain_at(
+            circuit, "Vin", "V1", choice.stimulus.frequency_hz
+        )
+        faulty_peak = choice.stimulus.amplitude * nominal_gain * (1 - 1.5 * x)
+        assert faulty_peak < vref  # crossed downward: D
+
+    def test_ac_gain_stimulated_at_own_frequency(self, circuit, parameters):
+        choice = choose_stimulus(circuit, parameters["A2"], Bound.LOWER, 1.0)
+        assert choice.stimulus.frequency_hz == 10_000.0
+
+    def test_peak_gain_stimulated_at_peak(self, circuit, parameters):
+        choice = choose_stimulus(circuit, parameters["A1"], Bound.LOWER, 1.0)
+        assert choice.stimulus.frequency_hz == pytest.approx(2500.0, rel=0.02)
+
+    def test_cutoff_stimulated_at_nominal_cutoff(self, circuit, parameters):
+        choice = choose_stimulus(circuit, parameters["fc2"], Bound.LOWER, 1.0)
+        assert choice.stimulus.frequency_hz == pytest.approx(3202.0, rel=0.02)
+
+    def test_amplitude_scales_with_vref(self, circuit, parameters):
+        low = choose_stimulus(circuit, parameters["A2"], Bound.LOWER, 1.0)
+        high = choose_stimulus(circuit, parameters["A2"], Bound.LOWER, 2.0)
+        assert high.stimulus.amplitude == pytest.approx(
+            2 * low.stimulus.amplitude
+        )
+
+    def test_composite_requires_split(self):
+        from repro.core import StimulusChoice
+        from repro.analog import ParameterKind
+        from repro.atpg import AnalogStimulus
+
+        broken = StimulusChoice(
+            "T", ParameterKind.DC_GAIN, Bound.LOWER,
+            AnalogStimulus(1.0, 0.0), good_value=1, faulty_value=1,
+        )
+        with pytest.raises(ValueError):
+            broken.composite
+
+
+class TestExchangeRate:
+    def test_cutoff_exchange_positive(self, circuit, parameters):
+        y = gain_exchange_rate(circuit, parameters["fc2"], 0.05)
+        assert y > 0.01  # a 5% cutoff shift visibly moves the gain
+
+    def test_peak_exchange_small(self, circuit, parameters):
+        # At the response peak the first derivative vanishes: the
+        # exchange rate is much smaller than at the cut-off.
+        y_peak = gain_exchange_rate(circuit, parameters["f0"], 0.05)
+        y_cut = gain_exchange_rate(circuit, parameters["fc2"], 0.05)
+        assert y_peak < y_cut

@@ -1,0 +1,80 @@
+"""Tests for BDD-based combinational equivalence checking."""
+
+import pytest
+
+from repro.digital import (
+    Circuit,
+    check_equivalent,
+    iscas85_like,
+    parse_bench,
+    simulate,
+    write_bench,
+)
+
+
+def and_circuit() -> Circuit:
+    c = Circuit("and")
+    c.add_input("a")
+    c.add_input("b")
+    c.and_("y", "a", "b")
+    c.add_output("y")
+    return c
+
+
+def demorgan_and() -> Circuit:
+    c = Circuit("demorgan")
+    c.add_input("a")
+    c.add_input("b")
+    c.not_("na", "a")
+    c.not_("nb", "b")
+    c.nor("y", "na", "nb")
+    c.add_output("y")
+    return c
+
+
+def or_circuit() -> Circuit:
+    c = Circuit("or")
+    c.add_input("a")
+    c.add_input("b")
+    c.or_("y", "a", "b")
+    c.add_output("y")
+    return c
+
+
+class TestEquivalent:
+    def test_demorgan(self):
+        result = check_equivalent(and_circuit(), demorgan_and())
+        assert result.equivalent
+        assert bool(result)
+        assert result.counterexample is None
+
+    def test_iscas_round_trip(self):
+        original = iscas85_like("c499")
+        reparsed = parse_bench(write_bench(original), name="c499")
+        assert check_equivalent(original, reparsed).equivalent
+
+
+class TestInequivalent:
+    def test_counterexample_produced(self):
+        result = check_equivalent(and_circuit(), or_circuit())
+        assert not result.equivalent
+        assert result.failing_output == "y"
+        cex = result.counterexample
+        left = simulate(and_circuit(), cex)["y"]
+        right = simulate(or_circuit(), cex)["y"]
+        assert left != right
+
+    def test_interface_mismatch_raises(self):
+        other = Circuit("other")
+        other.add_input("a")
+        other.buf("y", "a")
+        other.add_output("y")
+        with pytest.raises(ValueError):
+            check_equivalent(and_circuit(), other)
+
+    def test_output_mismatch_raises(self):
+        other = and_circuit()
+        other.buf("z", "y")
+        other.add_output("z")
+        with pytest.raises(ValueError):
+            check_equivalent(and_circuit(), other)

@@ -1,0 +1,96 @@
+"""Tests for the stuck-at fault model and collapsing."""
+
+import itertools
+
+from repro.digital import (
+    Circuit,
+    checkpoint_faults,
+    collapse_faults,
+    fault_simulate,
+    fault_universe,
+    stem_fault,
+)
+from repro.digital.library import fig3_circuit
+
+
+class TestUniverse:
+    def test_stem_only_count(self):
+        circuit = fig3_circuit()  # 9 lines
+        faults = fault_universe(circuit, include_branches=False)
+        assert len(faults) == 18  # the paper's Example 2 count
+
+    def test_branches_added_for_fanout(self):
+        circuit = fig3_circuit()
+        with_branches = fault_universe(circuit, include_branches=True)
+        stems_only = fault_universe(circuit, include_branches=False)
+        # l0, l1, l2 fan out to two gates each -> 3 signals x 2 branches x 2.
+        assert len(with_branches) == len(stems_only) + 12
+
+    def test_fault_str(self):
+        assert str(stem_fault("x", 0)) == "x s-a-0"
+        faults = fault_universe(fig3_circuit(), include_branches=True)
+        branch = next(f for f in faults if not f.is_stem)
+        assert "->" in str(branch)
+
+
+class TestCollapsing:
+    def test_collapsed_smaller(self):
+        circuit = fig3_circuit()
+        universe = fault_universe(circuit)
+        collapsed = collapse_faults(circuit, universe)
+        assert 0 < len(collapsed) < len(universe)
+
+    def test_collapsing_preserves_detectability(self):
+        # A test set detecting all collapsed faults detects the universe.
+        circuit = fig3_circuit()
+        universe = fault_universe(circuit)
+        collapsed = collapse_faults(circuit, universe)
+        patterns = [
+            dict(zip(circuit.inputs, bits))
+            for bits in itertools.product((0, 1), repeat=4)
+        ]
+        universe_hits = fault_simulate(circuit, patterns, universe)
+        collapsed_hits = fault_simulate(circuit, patterns, collapsed)
+        assert all(collapsed_hits.values())
+        assert all(universe_hits.values())
+
+    def test_inverter_chain_collapses_hard(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.not_("n1", "a")
+        c.not_("n2", "n1")
+        c.buf("n3", "n2")
+        c.add_output("n3")
+        universe = fault_universe(c)
+        collapsed = collapse_faults(c, universe)
+        # 4 lines x 2 = 8 faults, all equivalent pairwise through the
+        # chain: only 2 classes remain.
+        assert len(universe) == 8
+        assert len(collapsed) == 2
+
+    def test_and_gate_input_sa0_merges_with_output(self):
+        c = Circuit("and")
+        c.add_input("a")
+        c.add_input("b")
+        c.and_("g", "a", "b")
+        c.add_output("g")
+        collapsed = collapse_faults(c, fault_universe(c))
+        # 6 faults -> {a0,b0,g0} merge: 4 classes.
+        assert len(collapsed) == 4
+
+
+class TestCheckpoints:
+    def test_checkpoints_of_fanout_free_circuit_are_inputs(self):
+        c = Circuit("tree")
+        c.add_input("a")
+        c.add_input("b")
+        c.and_("g", "a", "b")
+        c.add_output("g")
+        checkpoints = checkpoint_faults(c)
+        assert {f.line for f in checkpoints} == {"a", "b"}
+
+    def test_checkpoints_include_branches(self):
+        circuit = fig3_circuit()
+        checkpoints = checkpoint_faults(circuit)
+        branch_lines = {f.line for f in checkpoints if not f.is_stem}
+        assert branch_lines == {"l0", "l1", "l2"}

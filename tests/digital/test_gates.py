@@ -1,0 +1,53 @@
+"""Tests for gate evaluation on parallel pattern words."""
+
+import itertools
+
+import pytest
+
+from repro.digital import GateType, evaluate_gate
+
+TRUTH = {
+    GateType.AND: lambda vs: all(vs),
+    GateType.NAND: lambda vs: not all(vs),
+    GateType.OR: lambda vs: any(vs),
+    GateType.NOR: lambda vs: not any(vs),
+    GateType.XOR: lambda vs: sum(vs) % 2 == 1,
+    GateType.XNOR: lambda vs: sum(vs) % 2 == 0,
+}
+
+
+@pytest.mark.parametrize("gate_type", list(TRUTH))
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def test_gate_truth_tables(gate_type, arity):
+    for bits in itertools.product((0, 1), repeat=arity):
+        out = evaluate_gate(gate_type, list(bits), 1)
+        assert out == int(TRUTH[gate_type](bits))
+
+
+def test_not_and_buf():
+    assert evaluate_gate(GateType.NOT, [1], 1) == 0
+    assert evaluate_gate(GateType.NOT, [0], 1) == 1
+    assert evaluate_gate(GateType.BUF, [1], 1) == 1
+
+
+def test_constants():
+    assert evaluate_gate(GateType.CONST0, [], 0b111) == 0
+    assert evaluate_gate(GateType.CONST1, [], 0b111) == 0b111
+
+
+def test_parallel_patterns_word():
+    # Patterns: a = 0101, b = 0011 -> AND = 0001, XOR = 0110, NOR = 1000.
+    mask = 0b1111
+    assert evaluate_gate(GateType.AND, [0b0101, 0b0011], mask) == 0b0001
+    assert evaluate_gate(GateType.XOR, [0b0101, 0b0011], mask) == 0b0110
+    assert evaluate_gate(GateType.NOR, [0b0101, 0b0011], mask) == 0b1000
+
+
+def test_complement_respects_mask():
+    # NOT over a 3-bit word must not leak bits above the mask.
+    assert evaluate_gate(GateType.NOT, [0b010], 0b111) == 0b101
+
+
+def test_input_gate_has_no_evaluation():
+    with pytest.raises(ValueError):
+        evaluate_gate(GateType.INPUT, [], 1)

@@ -1,0 +1,109 @@
+"""Tests for the hand-written library circuits."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.digital import (
+    alu_slice,
+    fig3_circuit,
+    magnitude_comparator,
+    mux_tree,
+    parity_tree,
+    ripple_adder,
+    simulate,
+)
+
+
+class TestFig3:
+    def test_shape(self):
+        c = fig3_circuit()
+        assert c.inputs == ["l0", "l1", "l2", "l4"]
+        assert c.outputs == ["Vo1", "Vo2"]
+        assert len(c.gates) == 5  # 9 lines total
+
+    def test_function(self):
+        c = fig3_circuit()
+        for bits in itertools.product((0, 1), repeat=4):
+            l0, l1, l2, l4 = bits
+            values = simulate(c, {"l0": l0, "l1": l1, "l2": l2, "l4": l4})
+            l3 = int(not (l0 or l2))
+            assert values["Vo1"] == ((l3 and l1) or l4)
+            assert values["Vo2"] == ((l1 ^ l2) and l0)
+
+
+class TestAdder:
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_addition(self, a, b, cin):
+        adder = ripple_adder(4)
+        assignment = {"CIN": cin}
+        for i in range(4):
+            assignment[f"A{i}"] = (a >> i) & 1
+            assignment[f"B{i}"] = (b >> i) & 1
+        values = simulate(adder, assignment)
+        total = sum(values[f"S{i}"] << i for i in range(4))
+        total |= values["COUT"] << 4
+        assert total == a + b + cin
+
+
+class TestMux:
+    def test_mux_selects(self):
+        mux = mux_tree(2)
+        for select in range(4):
+            for data_word in (0b1010, 0b0110):
+                assignment = {
+                    f"D{i}": (data_word >> i) & 1 for i in range(4)
+                }
+                assignment["S0"] = select & 1
+                assignment["S1"] = (select >> 1) & 1
+                values = simulate(mux, assignment)
+                assert values["Y"] == (data_word >> select) & 1
+
+
+class TestParity:
+    @given(st.integers(0, 2**10 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_parity(self, word):
+        tree = parity_tree(10)
+        assignment = {f"X{i}": (word >> i) & 1 for i in range(10)}
+        values = simulate(tree, assignment)
+        assert values["PAR"] == bin(word).count("1") % 2
+
+    def test_odd_width(self):
+        tree = parity_tree(5)
+        values = simulate(tree, {f"X{i}": 1 for i in range(5)})
+        assert values["PAR"] == 1
+
+
+class TestComparator:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=60, deadline=None)
+    def test_greater_than(self, a, b):
+        cmp4 = magnitude_comparator(4)
+        assignment = {}
+        for i in range(4):
+            assignment[f"A{i}"] = (a >> i) & 1
+            assignment[f"B{i}"] = (b >> i) & 1
+        values = simulate(cmp4, assignment)
+        assert values["GT"] == int(a > b)
+
+
+class TestAluSlice:
+    def test_all_operations(self):
+        alu = alu_slice()
+        expected = {
+            (0, 0): lambda a, b, c: a & b,
+            (0, 1): lambda a, b, c: a | b,
+            (1, 0): lambda a, b, c: a ^ b,
+            (1, 1): lambda a, b, c: (a ^ b) ^ c,
+        }
+        for (op1, op0), fn in expected.items():
+            for a, b, cin in itertools.product((0, 1), repeat=3):
+                values = simulate(
+                    alu,
+                    {"A": a, "B": b, "CIN": cin, "OP0": op0, "OP1": op1},
+                )
+                assert values["Y"] == fn(a, b, cin)
+                assert values["COUT"] == int(a + b + cin >= 2)

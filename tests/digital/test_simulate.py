@@ -1,0 +1,120 @@
+"""Tests for logic and fault simulation."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.digital import (
+    branch_fault,
+    compact_vectors,
+    coverage,
+    fault_simulate,
+    fault_universe,
+    ripple_adder,
+    simulate,
+    simulate_patterns,
+    simulate_with_fault,
+    stem_fault,
+)
+from repro.digital.library import fig3_circuit
+
+
+class TestGoodSimulation:
+    def test_adder_exhaustive(self):
+        adder = ripple_adder(3)
+        for a in range(8):
+            for b in range(8):
+                for cin in (0, 1):
+                    assignment = {"CIN": cin}
+                    for i in range(3):
+                        assignment[f"A{i}"] = (a >> i) & 1
+                        assignment[f"B{i}"] = (b >> i) & 1
+                    values = simulate(adder, assignment)
+                    total = sum(values[f"S{i}"] << i for i in range(3))
+                    total |= values["COUT"] << 3
+                    assert total == a + b + cin
+
+    @given(st.integers(0, 2**8 - 1), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_parallel_equals_serial(self, word_bits, n_patterns):
+        circuit = fig3_circuit()
+        rng = random.Random(word_bits)
+        patterns = [
+            {name: rng.randint(0, 1) for name in circuit.inputs}
+            for _ in range(n_patterns)
+        ]
+        words = {
+            name: sum(
+                (patterns[i][name] & 1) << i for i in range(n_patterns)
+            )
+            for name in circuit.inputs
+        }
+        parallel = simulate_patterns(circuit, words, n_patterns)
+        for i, pattern in enumerate(patterns):
+            serial = simulate(circuit, pattern)
+            for signal, word in parallel.items():
+                assert (word >> i) & 1 == serial[signal]
+
+
+class TestFaultSimulation:
+    def test_stem_fault_forces_value(self):
+        circuit = fig3_circuit()
+        fault = stem_fault("l3", 1)
+        values = simulate_with_fault(
+            circuit, {name: 0 for name in circuit.inputs}, 1, fault
+        )
+        assert values["l3"] == 1
+
+    def test_input_stem_fault(self):
+        circuit = fig3_circuit()
+        fault = stem_fault("l1", 1)
+        values = simulate_with_fault(
+            circuit, {name: 0 for name in circuit.inputs}, 1, fault
+        )
+        assert values["l1"] == 1
+
+    def test_branch_fault_affects_single_pin(self):
+        # l1 fans out to l5 (AND) and l6 (XOR); fault only the XOR pin.
+        circuit = fig3_circuit()
+        fault = branch_fault("l1", "l6", 0, 1)
+        inputs = {"l0": 0, "l1": 0, "l2": 0, "l4": 0}
+        values = simulate_with_fault(circuit, inputs, 1, fault)
+        good = simulate(circuit, inputs)
+        assert values["l6"] != good["l6"]  # the faulted branch changed
+        assert values["l5"] == good["l5"]  # the other branch did not
+
+    def test_detection_flags(self):
+        circuit = fig3_circuit()
+        faults = fault_universe(circuit, include_branches=False)
+        patterns = [
+            dict(zip(circuit.inputs, bits))
+            for bits in itertools.product((0, 1), repeat=4)
+        ]
+        detected = fault_simulate(circuit, patterns, faults)
+        # Exhaustive patterns detect every fault of this testable circuit.
+        assert all(detected.values())
+
+    def test_no_patterns_detect_nothing(self):
+        circuit = fig3_circuit()
+        faults = fault_universe(circuit, include_branches=False)
+        detected = fault_simulate(circuit, [], faults)
+        assert not any(detected.values())
+
+
+class TestCompaction:
+    def test_compaction_keeps_coverage(self):
+        circuit = fig3_circuit()
+        faults = fault_universe(circuit, include_branches=False)
+        patterns = [
+            dict(zip(circuit.inputs, bits))
+            for bits in itertools.product((0, 1), repeat=4)
+        ]
+        compacted = compact_vectors(circuit, patterns, faults)
+        assert len(compacted) < len(patterns)
+        assert coverage(circuit, compacted, faults) == 1.0
+
+    def test_coverage_of_empty_fault_list(self):
+        circuit = fig3_circuit()
+        assert coverage(circuit, [], []) == 1.0

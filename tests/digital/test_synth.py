@@ -1,0 +1,81 @@
+"""Tests for the synthetic benchmark generator."""
+
+import pytest
+
+from repro.digital import (
+    ISCAS85_SPECS,
+    SynthSpec,
+    iscas85_like,
+    synthesize,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_circuit(self):
+        a = synthesize(ISCAS85_SPECS["c432"])
+        b = synthesize(ISCAS85_SPECS["c432"])
+        assert a.inputs == b.inputs
+        assert a.outputs == b.outputs
+        assert {g.output: g.fanins for g in a.gates.values()} == {
+            g.output: g.fanins for g in b.gates.values()
+        }
+
+    def test_different_seed_different_circuit(self):
+        spec = ISCAS85_SPECS["c432"]
+        other = SynthSpec(
+            spec.name, spec.n_inputs, spec.n_outputs, spec.n_gates,
+            seed=spec.seed + 1,
+        )
+        a, b = synthesize(spec), synthesize(other)
+        assert {g.output: g.fanins for g in a.gates.values()} != {
+            g.output: g.fanins for g in b.gates.values()
+        }
+
+
+class TestInterfaces:
+    @pytest.mark.parametrize(
+        "name, n_pi, n_po",
+        [("c432", 36, 7), ("c499", 41, 32), ("c880", 60, 26),
+         ("c1355", 41, 32), ("c1908", 33, 25)],
+    )
+    def test_paper_interfaces_match(self, name, n_pi, n_po):
+        c = iscas85_like(name)
+        assert len(c.inputs) == n_pi  # the paper's Table 4 #PI
+        assert len(c.outputs) == n_po  # the paper's Table 4 #PO
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            iscas85_like("c9999")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", list(ISCAS85_SPECS))
+    def test_valid_dag(self, name):
+        c = iscas85_like(name)
+        c.validate()
+
+    @pytest.mark.parametrize("name", ["c432", "c880"])
+    def test_every_gate_observable(self, name):
+        # The collector phase must leave no dead logic.
+        c = iscas85_like(name)
+        reached: set[str] = set()
+        stack = list(c.outputs)
+        while stack:
+            signal = stack.pop()
+            if signal in reached:
+                continue
+            reached.add(signal)
+            gate = c.gates.get(signal)
+            if gate:
+                stack.extend(gate.fanins)
+        assert set(c.gates) <= reached
+
+    @pytest.mark.parametrize("name", ["c432", "c880"])
+    def test_every_input_used(self, name):
+        c = iscas85_like(name)
+        used = {src for g in c.gates.values() for src in g.fanins}
+        assert set(c.inputs) <= used
+
+    def test_outputs_distinct(self):
+        c = iscas85_like("c1355")
+        assert len(set(c.outputs)) == len(c.outputs)

@@ -1,0 +1,80 @@
+"""Property-based tests of MNA physics: linearity and superposition."""
+
+import cmath
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spice import AnalogCircuit, MnaSolver
+
+
+def two_source_network(v1: float, v2: float) -> AnalogCircuit:
+    c = AnalogCircuit("two-source")
+    c.vsource("V1", "a", "0", dc=v1)
+    c.vsource("V2", "b", "0", dc=v2)
+    c.resistor("R1", "a", "mid", 1000.0)
+    c.resistor("R2", "b", "mid", 2200.0)
+    c.resistor("R3", "mid", "0", 4700.0)
+    return c
+
+
+class TestSuperposition:
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_sources_superpose(self, v1, v2):
+        both = MnaSolver(two_source_network(v1, v2)).solve_dc()
+        only1 = MnaSolver(two_source_network(v1, 0.0)).solve_dc()
+        only2 = MnaSolver(two_source_network(0.0, v2)).solve_dc()
+        combined = only1.voltage("mid") + only2.voltage("mid")
+        assert both.voltage("mid") == pytest.approx(combined, abs=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling(self, scale):
+        base = MnaSolver(two_source_network(1.0, 0.0)).solve_dc()
+        scaled = MnaSolver(two_source_network(scale, 0.0)).solve_dc()
+        assert scaled.voltage("mid") == pytest.approx(
+            base.voltage("mid") * scale, rel=1e-9
+        )
+
+
+class TestAcConsistency:
+    @given(st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_conjugate_symmetry_magnitude(self, frequency):
+        # |H(f)| is well-defined: solving twice gives identical results
+        # (no hidden state in the solver).
+        c = AnalogCircuit("rc")
+        c.vsource("V1", "in", "0", ac=1.0)
+        c.resistor("R1", "in", "out", 1000.0)
+        c.capacitor("C1", "out", "0", 1e-7)
+        solver = MnaSolver(c)
+        first = solver.solve(frequency).voltage("out")
+        second = solver.solve(frequency).voltage("out")
+        assert first == second
+
+    @given(st.floats(min_value=10.0, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_passivity(self, frequency):
+        # A passive RC divider never amplifies.
+        c = AnalogCircuit("rc")
+        c.vsource("V1", "in", "0", ac=1.0)
+        c.resistor("R1", "in", "out", 1000.0)
+        c.capacitor("C1", "out", "0", 1e-7)
+        magnitude = abs(MnaSolver(c).solve(frequency).voltage("out"))
+        assert magnitude <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=10.0, max_value=1e5))
+    @settings(max_examples=30, deadline=None)
+    def test_phase_in_lower_half_plane(self, frequency):
+        # A single-pole low-pass lags: phase in (-90, 0] degrees.
+        c = AnalogCircuit("rc")
+        c.vsource("V1", "in", "0", ac=1.0)
+        c.resistor("R1", "in", "out", 1000.0)
+        c.capacitor("C1", "out", "0", 1e-7)
+        phase = cmath.phase(MnaSolver(c).solve(frequency).voltage("out"))
+        assert -cmath.pi / 2 - 1e-6 < phase <= 1e-9

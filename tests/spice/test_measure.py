@@ -1,0 +1,87 @@
+"""Tests for performance-parameter measurements."""
+
+import math
+
+import pytest
+
+from repro.circuits import bandpass_filter
+from repro.spice import (
+    AnalogCircuit,
+    AnalogError,
+    bandwidth,
+    center_frequency,
+    cutoff_high,
+    cutoff_low,
+    dc_gain,
+    gain_at,
+    peak_gain,
+)
+
+
+def rc_low_pass() -> AnalogCircuit:
+    circuit = AnalogCircuit("rc")
+    circuit.vsource("V1", "in", "0", ac=1.0)
+    circuit.resistor("R1", "in", "out", 1591.55)  # fc = 100 Hz with 1 uF
+    circuit.capacitor("C1", "out", "0", 1e-6)
+    return circuit
+
+
+class TestGains:
+    def test_dc_gain_of_divider(self):
+        c = AnalogCircuit("div")
+        c.vsource("V1", "in", "0")
+        c.resistor("R1", "in", "out", 1000.0)
+        c.resistor("R2", "out", "0", 1000.0)
+        assert dc_gain(c, "V1", "out") == pytest.approx(0.5)
+
+    def test_gain_at_corner(self):
+        c = rc_low_pass()
+        assert gain_at(c, "V1", "out", 100.0) == pytest.approx(
+            1 / math.sqrt(2), rel=1e-3
+        )
+
+
+class TestCutoffs:
+    def test_low_pass_high_cutoff(self):
+        c = rc_low_pass()
+        assert cutoff_high(c, "V1", "out", 1.0, 1e5) == pytest.approx(
+            100.0, rel=1e-3
+        )
+
+    def test_low_pass_has_no_low_cutoff(self):
+        c = rc_low_pass()
+        with pytest.raises(AnalogError):
+            cutoff_low(c, "V1", "out", 1.0, 1e5)
+
+    def test_band_pass_cutoffs_bracket_center(self):
+        c = bandpass_filter()
+        f_low = cutoff_low(c, "Vin", "V1", 50.0, 2e5)
+        f_high = cutoff_high(c, "Vin", "V1", 50.0, 2e5)
+        f_center = center_frequency(c, "Vin", "V1", 50.0, 2e5)
+        assert f_low < f_center < f_high
+
+    def test_bandwidth_matches_design_q(self):
+        # Tow-Thomas design: f0 = 2.5 kHz, Q = 2 -> BW = 1.25 kHz.
+        c = bandpass_filter()
+        assert bandwidth(c, "Vin", "V1", 50.0, 2e5) == pytest.approx(
+            1250.0, rel=0.02
+        )
+
+    def test_reference_override(self):
+        c = rc_low_pass()
+        f = cutoff_high(c, "V1", "out", 1.0, 1e5, reference=0.5)
+        # |H| = 0.5/sqrt(2) happens above the -3 dB point.
+        assert f > 100.0
+
+
+class TestPeak:
+    def test_peak_of_band_pass(self):
+        c = bandpass_filter()
+        f_peak, magnitude = peak_gain(c, "Vin", "V1", 50.0, 2e5)
+        assert f_peak == pytest.approx(2500.0, rel=0.01)
+        assert magnitude == pytest.approx(2.0, rel=0.01)
+
+    def test_bad_window_rejected(self):
+        c = bandpass_filter()
+        with pytest.raises(AnalogError):
+            peak_gain(c, "Vin", "V1", 0.0, 1e5)
