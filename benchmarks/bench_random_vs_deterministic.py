@@ -66,14 +66,20 @@ def test_random_vs_deterministic_under_constraints(benchmark, record_table):
 
 def test_campaign_detection(benchmark, record_table):
     """End-to-end: the emitted program catches seeded analog faults."""
-    from repro.circuits import fig4_mixed_circuit
-    from repro.core import MixedSignalTestGenerator, run_campaign
+    from repro.api import CampaignConfig, Workbench
+    from repro.core import run_campaign
 
-    mixed = fig4_mixed_circuit()
-    report = MixedSignalTestGenerator(mixed).run(include_digital=False)
+    session = Workbench().session()
+    mixed = session.circuit("fig4")
+    prepared = session.run(mixed, stages=("sensitivity", "stimulus"))
 
     def campaign():
-        return run_campaign(mixed, report, faults_per_element=6, seed=17)
+        # Only the campaign is timed; generation happened above.
+        return run_campaign(
+            mixed,
+            prepared.report,
+            config=CampaignConfig(faults_per_element=6, seed=17),
+        )
 
     result = benchmark.pedantic(campaign, rounds=1, iterations=1)
     record_table("ablation_campaign", result.summary())

@@ -1,13 +1,22 @@
-"""Benchmark TB1: Table 1 stimulus selection for every parameter/bound."""
+"""Benchmark TB1: Table 1 stimulus selection for every parameter/bound.
 
-from repro.experiments import table1
+Routed through the :class:`repro.api.Workbench` experiment facade — the
+benchmark measures exactly what ``python -m repro experiment table1``
+executes.
+"""
+
+from repro.api import Workbench
 from repro.atpg import CompositeValue
 from repro.core import Bound
 
 
 def test_table1_stimuli(benchmark, record_table):
-    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
-    record_table("table1", result.render())
+    wb = Workbench()
+    run = benchmark.pedantic(
+        wb.run_experiment, args=("table1",), rounds=1, iterations=1
+    )
+    record_table("table1", run.rendered)
+    result = run.result
 
     assert len(result.choices) == 10  # 5 parameters x 2 bounds
     for choice in result.choices:
@@ -23,3 +32,7 @@ def test_table1_stimuli(benchmark, record_table):
     # The center-frequency stimulus sits near the nominal f0 = 2.5 kHz.
     f0 = [c for c in result.choices if c.parameter == "f0"]
     assert all(2300 < c.stimulus.frequency_hz < 2700 for c in f0)
+    # The experiment artifact serializes through the unified scheme.
+    artifact = run.to_artifact()
+    assert artifact.kind == "experiment"
+    assert artifact.payload["rendered"] == run.rendered

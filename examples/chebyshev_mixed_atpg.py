@@ -1,43 +1,43 @@
 #!/usr/bin/env python3
 """Example 3 walkthrough: the Chebyshev mixed circuit end-to-end.
 
-Assembles the paper's big example — fifth-order Chebyshev filter, the
-15-comparator conversion block, an ISCAS85-class digital block — and
-runs the mixed-signal generator on the analog elements, reporting per
-element: the targeted parameter, the stimulus, the activating
-comparator, and the digital vector that routes the composite value to a
-primary output.
+Drives the paper's big example — fifth-order Chebyshev filter, the
+15-comparator conversion block, an ISCAS85-class digital block — through
+the workbench API, reporting per analog element: the targeted parameter,
+the stimulus, the activating comparator, and the digital vector that
+routes the composite value to a primary output.
 
 Run:  python examples/chebyshev_mixed_atpg.py [circuit-name]
 """
 
 import sys
 
-from repro.circuits import example3_mixed_circuit
-from repro.core import MixedSignalTestGenerator, format_table
+from repro.api import Workbench
+from repro.core import format_table
 
 
 def main(name: str = "c432") -> None:
-    mixed = example3_mixed_circuit(name)
+    session = Workbench().session()
+    mixed = session.circuit(f"example3-{name}")
     print(f"mixed circuit: {mixed.name}")
     for key, value in mixed.stats().items():
         print(f"  {key:18s} {value}")
 
-    generator = MixedSignalTestGenerator(mixed)
+    print("\nanalog tests + comparator observability "
+          "(this takes a couple of minutes):")
+    result = session.run(mixed, stages=("sensitivity", "stimulus", "conversion"))
 
-    print("\nper-comparator composite-value observability:")
-    observability = generator.comparator_observability()
+    observability = result.report.comparator_observability
     marks = ["ok" if ok else "BLOCKED" for ok in observability]
     print(
         format_table(
-            ["comparator"] + [f"Vt{i + 1}" for i in range(15)],
+            ["comparator"] + [f"Vt{i + 1}" for i in range(len(marks))],
             [["D propagates?"] + marks],
         )
     )
 
-    print("\nanalog element tests (this takes a couple of minutes):")
     rows = []
-    for test in generator.analog_tests():
+    for test in result.report.analog_tests:
         rows.append(
             [
                 test.element,
@@ -56,6 +56,8 @@ def main(name: str = "c432") -> None:
             rows,
         )
     )
+    print()
+    print(result.outcome.timing_table())
 
 
 if __name__ == "__main__":

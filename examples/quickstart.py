@@ -1,32 +1,39 @@
 #!/usr/bin/env python3
 """Quickstart: generate a complete mixed-signal test program.
 
-Builds the paper's Figure 4 circuit (band-pass filter -> 2-comparator
-converter -> the Figure 3 digital block) and runs the whole flow:
+Drives the paper's Figure 4 circuit (band-pass filter -> 2-comparator
+converter -> the Figure 3 digital block) through the unified workbench
+API:
 
 1. analog worst-case deviations and stimulus selection,
 2. composite-value propagation through the digital block,
-3. constrained stuck-at ATPG for the digital block itself.
+3. constrained stuck-at ATPG for the digital block itself,
+
+then serializes the whole run as one versioned JSON artifact.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import GeneratorConfig, Workbench
 from repro.atpg import format_program
-from repro.circuits import fig4_mixed_circuit
-from repro.core import MixedSignalTestGenerator
 
 
 def main() -> None:
-    mixed = fig4_mixed_circuit()
+    wb = Workbench()
+    session = wb.session(
+        generator=GeneratorConfig(include_unconstrained=True)
+    )
+
+    mixed = session.circuit("fig4")
     print(f"circuit: {mixed.name}")
     for key, value in mixed.stats().items():
         print(f"  {key:18s} {value}")
 
-    generator = MixedSignalTestGenerator(mixed)
-    report = generator.run(include_unconstrained=True)
+    result = session.run(mixed)
+    report = result.report
 
     print()
-    print(report.summary())
+    print(result.summary())
     print()
     print(format_program(report.program(), title="analog test program"))
 
@@ -35,6 +42,11 @@ def main() -> None:
     for index, vector in enumerate(report.digital_run.vectors, start=1):
         bits = " ".join(f"{k}={v}" for k, v in sorted(vector.items()))
         print(f"  {index:3d}. {bits}")
+
+    artifact = result.to_artifact()
+    print()
+    print(f"artifact: kind={artifact.kind}, {len(artifact.to_json())} bytes"
+          " of versioned JSON (artifact.save('fig4.json') to persist)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,6 @@
+"""``python -m repro`` — delegate to the workbench CLI."""
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

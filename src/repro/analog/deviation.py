@@ -271,6 +271,7 @@ def deviation_matrix(
     adversary: str = "sensitivity",
     max_deviation: float = 8.0,
     insensitive_threshold: float = 5e-3,
+    sensitivities: SensitivityMatrix | None = None,
 ) -> DeviationMatrix:
     """Compute the full worst-case-deviation matrix.
 
@@ -278,11 +279,15 @@ def deviation_matrix(
     are reported as UNTESTABLE without running the bisection — these are
     the structural zeros of the paper's Example 1 matrix (A1 does not
     depend on R1...R4, C1, C2 at all).
+
+    An already-computed ``sensitivities`` matrix covering the requested
+    parameters and elements can be passed to skip recomputing it.
     """
     if elements is None:
         elements = circuit.element_names()
     elements = list(elements)
-    sensitivities = sensitivity_matrix(circuit, parameters, elements)
+    if sensitivities is None:
+        sensitivities = sensitivity_matrix(circuit, parameters, elements)
     results: dict[tuple[str, str], DeviationResult] = {}
     for parameter in parameters:
         for element in elements:

@@ -47,6 +47,8 @@ def _covers(matrix: DeviationMatrix, parameter: str, element: str,
 class TestSetSelection:
     """Outcome of parameter selection."""
 
+    __test__ = False  # not a pytest test class
+
     #: chosen parameters, in selection order.
     parameters: list[str]
     #: per-element best coverage through the chosen set:

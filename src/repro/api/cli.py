@@ -1,0 +1,262 @@
+"""``python -m repro`` — the command-line workbench.
+
+Subcommands::
+
+    list         registered circuits and experiments
+    generate     run the test-generation pipeline on a circuit
+    campaign     full flow incl. fault-injection scoring
+    experiment   regenerate one of the paper's tables/figures
+    bench-smoke  fast end-to-end self-check (CI gate)
+
+Every subcommand accepts ``--json PATH`` to persist the result as a
+versioned :class:`repro.api.Artifact` document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .config import CampaignConfig, ConfigError, GeneratorConfig
+from .pipeline import FULL_STAGES, STAGE_ORDER
+from .session import Workbench
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="mixed-signal test-generation workbench "
+        "(Ayari, BenHamida & Kaminska, DATE 1995 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list circuits and experiments")
+    p_list.add_argument(
+        "--kind",
+        choices=("mixed", "analog", "digital"),
+        default=None,
+        help="only circuits of this kind",
+    )
+
+    p_gen = sub.add_parser(
+        "generate", help="generate a test program for a circuit"
+    )
+    p_gen.add_argument("circuit", help="registry name, e.g. fig4")
+    p_gen.add_argument(
+        "--stages",
+        default=None,
+        help="comma-separated subset of: " + ",".join(STAGE_ORDER),
+    )
+    p_gen.add_argument("--json", metavar="PATH", default=None)
+    p_gen.add_argument(
+        "--program", metavar="PATH", default=None,
+        help="also write the emitted program as a program artifact",
+    )
+    _add_generator_options(p_gen)
+
+    p_camp = sub.add_parser(
+        "campaign", help="generate, then score via fault injection"
+    )
+    p_camp.add_argument("circuit", help="registry name, e.g. fig4")
+    p_camp.add_argument("--faults-per-element", type=int, default=None)
+    p_camp.add_argument("--seed", type=int, default=None)
+    p_camp.add_argument(
+        "--severity", nargs=2, type=float, metavar=("LOW", "HIGH"),
+        default=None,
+    )
+    p_camp.add_argument("--json", metavar="PATH", default=None)
+    _add_generator_options(p_camp)
+
+    p_exp = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    p_exp.add_argument("name", help="experiment name, e.g. table1 (or 'all')")
+    p_exp.add_argument("--json", metavar="PATH", default=None)
+
+    p_smoke = sub.add_parser(
+        "bench-smoke", help="fast end-to-end self-check (fig4 pipeline)"
+    )
+    p_smoke.add_argument("--json", metavar="PATH", default=None)
+    return parser
+
+
+def _add_generator_options(parser: argparse.ArgumentParser) -> None:
+    # Defaults stay None: the config dataclasses own the real defaults
+    # and with_overrides() only applies values the user actually passed.
+    parser.add_argument("--tolerance", type=float, default=None)
+    parser.add_argument("--element-tolerance", type=float, default=None)
+    parser.add_argument("--comparator-budget", type=int, default=None)
+    parser.add_argument(
+        "--no-digital", action="store_true",
+        help="skip the digital ATPG stage",
+    )
+    parser.add_argument(
+        "--unconstrained", action="store_true",
+        help="also run the stand-alone (unconstrained) digital ATPG",
+    )
+
+
+def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
+    return GeneratorConfig().with_overrides(
+        tolerance=args.tolerance,
+        element_tolerance=args.element_tolerance,
+        comparator_budget=args.comparator_budget,
+        include_digital=False if args.no_digital else None,
+        include_unconstrained=True if args.unconstrained else None,
+    )
+
+
+def _stages(args: argparse.Namespace) -> tuple[str, ...] | None:
+    # --no-digital needs no handling here: the pipeline itself vetoes
+    # the atpg stage when include_digital is False.
+    if getattr(args, "stages", None) is None:
+        return None
+    return tuple(s.strip() for s in args.stages.split(",") if s.strip())
+
+
+# ----------------------------------------------------------------------
+def _cmd_list(wb: Workbench, args: argparse.Namespace) -> int:
+    print("circuits:")
+    for spec in wb.list_circuits(args.kind):
+        aliases = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"  {spec.name:16s} [{spec.kind:7s}] {spec.description}{aliases}")
+    if args.kind is None:
+        print("experiments:")
+        print("  " + ", ".join(wb.list_experiments()))
+    return 0
+
+
+def _cmd_generate(wb: Workbench, args: argparse.Namespace) -> int:
+    result = wb.generate(
+        args.circuit, stages=_stages(args), generator=_generator_config(args)
+    )
+    print(result.summary())
+    if args.json:
+        path = result.to_artifact().save(args.json)
+        print(f"artifact written: {path}")
+    if args.program:
+        path = result.program_artifact().save(args.program)
+        print(f"program written: {path}")
+    return 0
+
+
+def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
+    campaign = CampaignConfig().with_overrides(
+        faults_per_element=args.faults_per_element,
+        severity_range=None if args.severity is None else tuple(args.severity),
+        seed=args.seed,
+    )
+    result = wb.campaign(
+        args.circuit, campaign=campaign, generator=_generator_config(args)
+    )
+    print(result.summary())
+    if args.json:
+        path = result.to_artifact().save(args.json)
+        print(f"artifact written: {path}")
+    return 0
+
+
+def _cmd_experiment(wb: Workbench, args: argparse.Namespace) -> int:
+    from ..experiments.runner import format_section
+
+    if args.name == "all":
+        runs = [wb.run_experiment(name) for name in wb.list_experiments()]
+        combined = "\n\n".join(format_section(run) for run in runs)
+        print(combined)
+        if args.json:
+            from .artifact import Artifact
+
+            seconds = sum(run.seconds for run in runs)
+            path = Artifact.from_experiment("all", combined, seconds).save(
+                args.json
+            )
+            print(f"artifact written: {path}")
+        return 0
+    run = wb.run_experiment(args.name)
+    print(format_section(run))
+    if args.json:
+        path = run.to_artifact().save(args.json)
+        print(f"artifact written: {path}")
+    return 0
+
+
+def _cmd_bench_smoke(wb: Workbench, args: argparse.Namespace) -> int:
+    """End-to-end smoke: the fig4 flow must stay fast and healthy."""
+    session = wb.session(
+        campaign=CampaignConfig(faults_per_element=3, seed=7),
+    )
+    # Every stage except the (slow) deviation-matrix study: the smoke
+    # must stay a few seconds to be a useful CI gate.
+    result = session.run(
+        "fig4",
+        stages=("sensitivity", "stimulus", "conversion", "atpg", "campaign"),
+    )
+    print(result.summary())
+    checks = {
+        "analog coverage == 1": result.report.analog_coverage == 1.0,
+        "digital vectors emitted": result.report.digital_run is not None
+        and result.report.digital_run.n_vectors > 0,
+        "campaign ran": result.campaign is not None
+        and result.campaign.n_injected > 0,
+        "guaranteed faults all caught": result.campaign is not None
+        and result.campaign.guaranteed_detection_rate == 1.0,
+        "artifact round-trips": _artifact_round_trips(result),
+    }
+    failed = [name for name, ok in checks.items() if not ok]
+    for name, ok in checks.items():
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    if args.json:
+        path = result.to_artifact().save(args.json)
+        print(f"artifact written: {path}")
+    if failed:
+        print(f"bench-smoke: {len(failed)} check(s) failed", file=sys.stderr)
+        return 1
+    print("bench-smoke: all checks passed")
+    return 0
+
+
+def _artifact_round_trips(result) -> bool:
+    from .artifact import Artifact
+
+    artifact = result.to_artifact()
+    return Artifact.from_json(artifact.to_json()).to_json() == artifact.to_json()
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "generate": _cmd_generate,
+    "campaign": _cmd_campaign,
+    "experiment": _cmd_experiment,
+    "bench-smoke": _cmd_bench_smoke,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    wb = Workbench()
+    try:
+        return _COMMANDS[args.command](wb, args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `| head`): not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't trip over the dead pipe.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ConfigError, OSError) as error:
+        # ConfigError covers bad values and unknown names; OSError the
+        # --json file writes.  Anything else is a genuine bug and keeps
+        # its traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

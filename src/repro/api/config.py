@@ -1,0 +1,198 @@
+"""Typed, validated configuration for the :mod:`repro.api` workbench.
+
+Every knob that used to travel as a loose keyword argument through
+:class:`repro.core.MixedSignalTestGenerator`, :func:`repro.core.run_campaign`
+and :func:`repro.atpg.run_atpg` lives here as a frozen dataclass that
+validates itself on construction.  The configs are plain data — they
+import nothing from the rest of the package, so every layer (including
+:mod:`repro.core`) can depend on them without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "ConfigError",
+    "UnknownNameError",
+    "GeneratorConfig",
+    "CampaignConfig",
+    "AtpgConfig",
+    "SessionConfig",
+]
+
+#: variable-ordering heuristics understood by the BDD compiler.
+BDD_ORDERINGS = ("fanin", "declaration")
+
+
+class ConfigError(ValueError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class UnknownNameError(ConfigError, KeyError):
+    """A circuit/experiment name lookup failed.
+
+    Subclasses both :class:`ConfigError` (the API's error root, which
+    the CLI maps to a clean exit) and :class:`KeyError` (the natural
+    exception for a failed mapping lookup).
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; report it verbatim.
+        return str(self.args[0]) if self.args else ""
+
+
+class _Replaceable:
+    """Shared helpers: keyword-checked ``replace`` and ``as_dict``."""
+
+    def replace(self, **changes):
+        """A copy with the given fields changed (unknown names rejected)."""
+        known = {f.name for f in fields(self)}
+        unknown = sorted(set(changes) - known)
+        if unknown:
+            raise ConfigError(
+                f"{type(self).__name__} has no field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    def with_overrides(self, **overrides):
+        """A copy with the non-``None`` keywords applied.
+
+        The legacy-shim merge used by the classic call surfaces: loose
+        keyword arguments that were passed explicitly (not ``None``)
+        win over the config's values.
+        """
+        changes = {
+            name: value
+            for name, value in overrides.items()
+            if value is not None
+        }
+        return self.replace(**changes) if changes else self
+
+    def as_dict(self) -> dict:
+        """Field values as a plain dict (for artifact metadata)."""
+        return dataclasses.asdict(self)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig(_Replaceable):
+    """Configuration of the mixed-signal test generator.
+
+    Attributes:
+        tolerance: parameter tolerance box (the paper's ``x``, 5 %).
+        element_tolerance: fault-free element tolerance (5 %).
+        comparator_budget: comparators tried per (parameter, bound)
+            before giving up; ``None`` means all of them.
+        include_digital: run the constrained digital ATPG stage.
+        include_unconstrained: additionally run the stand-alone
+            (unconstrained) digital ATPG for comparison.
+    """
+
+    tolerance: float = 0.05
+    element_tolerance: float = 0.05
+    comparator_budget: int | None = None
+    include_digital: bool = True
+    include_unconstrained: bool = False
+
+    def __post_init__(self) -> None:
+        _require(
+            0.0 < self.tolerance < 1.0,
+            f"tolerance must be in (0, 1), got {self.tolerance!r}",
+        )
+        _require(
+            0.0 < self.element_tolerance < 1.0,
+            "element_tolerance must be in (0, 1), got "
+            f"{self.element_tolerance!r}",
+        )
+        _require(
+            self.comparator_budget is None or self.comparator_budget >= 1,
+            "comparator_budget must be None or >= 1, got "
+            f"{self.comparator_budget!r}",
+        )
+
+
+@dataclass(frozen=True)
+class CampaignConfig(_Replaceable):
+    """Configuration of the fault-injection campaign.
+
+    Attributes:
+        faults_per_element: injected deviations per testable element.
+        severity_range: severities (multiples of the computed E.D.)
+            drawn uniformly from this ``(low, high)`` interval.
+        seed: RNG seed, so campaigns are reproducible artifacts.
+    """
+
+    faults_per_element: int = 6
+    severity_range: tuple[float, float] = (0.5, 3.0)
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        _require(
+            self.faults_per_element >= 1,
+            "faults_per_element must be >= 1, got "
+            f"{self.faults_per_element!r}",
+        )
+        _require(
+            len(self.severity_range) == 2,
+            f"severity_range must be (low, high), got {self.severity_range!r}",
+        )
+        low, high = self.severity_range
+        _require(
+            0.0 < low <= high,
+            f"severity_range must satisfy 0 < low <= high, got {low!r}, {high!r}",
+        )
+
+
+@dataclass(frozen=True)
+class AtpgConfig(_Replaceable):
+    """Configuration of the digital stuck-at ATPG stage.
+
+    Attributes:
+        ordering: BDD variable-ordering heuristic.
+        compact: reverse-order fault-simulation compaction of the vectors.
+        collapse: equivalence-collapse the default fault universe.
+        constrained: apply the conversion block's thermometer ``Fc``
+            (mixed-circuit case); ``False`` tests the block stand-alone.
+    """
+
+    ordering: str = "fanin"
+    compact: bool = True
+    collapse: bool = True
+    constrained: bool = True
+
+    def __post_init__(self) -> None:
+        _require(
+            self.ordering in BDD_ORDERINGS,
+            f"ordering must be one of {BDD_ORDERINGS}, got {self.ordering!r}",
+        )
+
+
+@dataclass(frozen=True)
+class SessionConfig(_Replaceable):
+    """Bundle of per-stage configs a :class:`repro.api.TestSession` holds.
+
+    Attributes:
+        generator: analog/mixed generation settings.
+        campaign: fault-injection campaign settings.
+        atpg: digital ATPG settings.
+        max_workers: worker threads for ``run_batch`` (``None`` = one
+            per batch entry, capped by the interpreter's CPU count).
+    """
+
+    generator: GeneratorConfig = GeneratorConfig()
+    campaign: CampaignConfig = CampaignConfig()
+    atpg: AtpgConfig = AtpgConfig()
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            self.max_workers is None or self.max_workers >= 1,
+            f"max_workers must be None or >= 1, got {self.max_workers!r}",
+        )

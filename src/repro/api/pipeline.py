@@ -1,0 +1,257 @@
+"""Composable test-generation pipeline with per-stage timing.
+
+The paper's flow decomposes into named stages —
+
+    sensitivity → deviation → stimulus → conversion → atpg → campaign
+
+— each a function over a shared :class:`PipelineContext`.  A
+:class:`Pipeline` is an ordered subset of those stages; running one
+yields a :class:`PipelineOutcome` carrying the consolidated
+:class:`repro.core.MixedTestReport`, the optional campaign result, the
+optional deviation matrix, and a wall-clock timing per stage.
+
+Stage semantics:
+
+* ``sensitivity`` — the analog block's full sensitivity matrix;
+* ``deviation``   — the worst-case deviation matrix (Example 1 / Table 3);
+    when present, the generator runs the paper's *case 2* flow (reuse the
+    matrix, try parameters tightest-E.D. first);
+* ``stimulus``    — activate-and-propagate test recipes per analog element;
+* ``conversion``  — comparator observability + constrained ladder coverage;
+* ``atpg``        — digital-block stuck-at ATPG under the thermometer
+    constraint (plus the stand-alone run when configured);
+* ``campaign``    — seeded fault injection scoring the emitted program
+    (requires ``stimulus``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..analog import DeviationMatrix, deviation_matrix
+from ..atpg import run_atpg
+from ..conversion import constrained_ladder_coverage
+from ..core import (
+    CampaignResult,
+    MixedSignalCircuit,
+    MixedSignalTestGenerator,
+    MixedTestReport,
+    run_campaign,
+)
+from .config import AtpgConfig, CampaignConfig, ConfigError, GeneratorConfig
+
+__all__ = [
+    "STAGE_ORDER",
+    "DEFAULT_STAGES",
+    "FULL_STAGES",
+    "StageTiming",
+    "PipelineContext",
+    "PipelineOutcome",
+    "Pipeline",
+]
+
+#: canonical stage order; every pipeline is a subsequence of this.
+STAGE_ORDER = (
+    "sensitivity",
+    "deviation",
+    "stimulus",
+    "conversion",
+    "atpg",
+    "campaign",
+)
+
+#: what ``MixedSignalTestGenerator.run()`` historically computed.
+DEFAULT_STAGES = ("sensitivity", "stimulus", "conversion", "atpg")
+
+#: everything, including the deviation matrix and the scoring campaign.
+FULL_STAGES = STAGE_ORDER
+
+#: stages that cannot run unless another stage ran before them.
+_REQUIRES = {"campaign": "stimulus"}
+
+
+@dataclass
+class StageTiming:
+    """Wall-clock cost of one executed stage."""
+
+    stage: str
+    seconds: float
+
+
+@dataclass
+class PipelineContext:
+    """Mutable state threaded through the stages of one run."""
+
+    mixed: MixedSignalCircuit
+    generator: MixedSignalTestGenerator
+    atpg_config: AtpgConfig
+    campaign_config: CampaignConfig
+    report: MixedTestReport
+    deviations: DeviationMatrix | None = None
+    campaign: CampaignResult | None = None
+
+    @property
+    def generator_config(self) -> GeneratorConfig:
+        """The generator's active configuration."""
+        return self.generator.config
+
+
+def _stage_sensitivity(ctx: PipelineContext) -> None:
+    ctx.generator.sensitivities  # noqa: B018 — builds and caches the matrix
+
+
+def _stage_deviation(ctx: PipelineContext) -> None:
+    cfg = ctx.generator_config
+    matrix = deviation_matrix(
+        ctx.mixed.analog,
+        ctx.mixed.parameters,
+        tolerance=cfg.tolerance,
+        element_tolerance=cfg.element_tolerance,
+        # Reuse the sensitivity stage's matrix when it already ran.
+        sensitivities=ctx.generator._sensitivities,
+    )
+    ctx.deviations = matrix
+    ctx.generator.matrix = matrix
+
+
+def _stage_stimulus(ctx: PipelineContext) -> None:
+    ctx.report.analog_tests = ctx.generator.analog_tests()
+
+
+def _stage_conversion(ctx: PipelineContext) -> None:
+    cfg = ctx.generator_config
+    mask = ctx.generator.comparator_observability()
+    ctx.report.comparator_observability = mask
+    ctx.report.conversion_coverage = constrained_ladder_coverage(
+        ctx.mixed.adc,
+        lambda i: mask[i],
+        tolerance=cfg.tolerance,
+        element_tolerance=cfg.element_tolerance,
+    )
+
+
+def _stage_atpg(ctx: PipelineContext) -> None:
+    constraint = (
+        ctx.mixed.constraint_builder()
+        if ctx.atpg_config.constrained
+        else None
+    )
+    # Reuse the circuit BDD the earlier stages compiled (and the session
+    # pool checked out) instead of recompiling per ATPG run.
+    cbdd = ctx.mixed.compiled_digital(ctx.atpg_config.ordering)
+    ctx.report.digital_run = run_atpg(
+        ctx.mixed.digital,
+        constraint=constraint,
+        config=ctx.atpg_config,
+        cbdd=cbdd,
+    )
+    if ctx.generator_config.include_unconstrained and constraint is not None:
+        ctx.report.digital_run_unconstrained = run_atpg(
+            ctx.mixed.digital, config=ctx.atpg_config, cbdd=cbdd
+        )
+
+
+def _stage_campaign(ctx: PipelineContext) -> None:
+    ctx.campaign = run_campaign(
+        ctx.mixed, ctx.report, config=ctx.campaign_config
+    )
+
+
+_STAGES = {
+    "sensitivity": _stage_sensitivity,
+    "deviation": _stage_deviation,
+    "stimulus": _stage_stimulus,
+    "conversion": _stage_conversion,
+    "atpg": _stage_atpg,
+    "campaign": _stage_campaign,
+}
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything one pipeline run produced."""
+
+    circuit_name: str
+    #: the stages that actually executed (config vetoes excluded).
+    stages: tuple[str, ...]
+    report: MixedTestReport
+    campaign: CampaignResult | None = None
+    deviations: DeviationMatrix | None = None
+    timings: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed stage wall-clock time."""
+        return sum(t.seconds for t in self.timings)
+
+    def timing_table(self) -> str:
+        """One line per stage: name and wall-clock seconds."""
+        lines = [f"== pipeline timing: {self.circuit_name} =="]
+        for timing in self.timings:
+            lines.append(f"  {timing.stage:12s} {timing.seconds:8.3f}s")
+        lines.append(f"  {'total':12s} {self.total_seconds:8.3f}s")
+        return "\n".join(lines)
+
+
+class Pipeline:
+    """An ordered, validated subset of the canonical stages."""
+
+    def __init__(self, stages: Sequence[str] | None = None):
+        names = tuple(stages) if stages is not None else DEFAULT_STAGES
+        unknown = [s for s in names if s not in _STAGES]
+        if unknown:
+            raise ConfigError(
+                f"unknown pipeline stage(s) {unknown}; "
+                f"valid stages: {list(STAGE_ORDER)}"
+            )
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate pipeline stages in {list(names)}")
+        indices = [STAGE_ORDER.index(s) for s in names]
+        if indices != sorted(indices):
+            raise ConfigError(
+                f"stages must follow the canonical order {list(STAGE_ORDER)}; "
+                f"got {list(names)}"
+            )
+        for stage, prerequisite in _REQUIRES.items():
+            if stage in names and prerequisite not in names:
+                raise ConfigError(
+                    f"stage {stage!r} requires stage {prerequisite!r}"
+                )
+        self.stages = names
+
+    def run(
+        self,
+        mixed: MixedSignalCircuit,
+        generator: GeneratorConfig | None = None,
+        campaign: CampaignConfig | None = None,
+        atpg: AtpgConfig | None = None,
+    ) -> PipelineOutcome:
+        """Execute the stages against one mixed circuit."""
+        generator = generator or GeneratorConfig()
+        engine = MixedSignalTestGenerator(mixed, config=generator)
+        ctx = PipelineContext(
+            mixed=mixed,
+            generator=engine,
+            atpg_config=atpg or AtpgConfig(),
+            campaign_config=campaign or CampaignConfig(),
+            report=MixedTestReport(mixed.name),
+        )
+        timings: list[StageTiming] = []
+        executed: list[str] = []
+        for name in self.stages:
+            if name == "atpg" and not generator.include_digital:
+                continue  # the config vetoes the digital stage
+            start = time.perf_counter()
+            _STAGES[name](ctx)
+            timings.append(StageTiming(name, time.perf_counter() - start))
+            executed.append(name)
+        return PipelineOutcome(
+            circuit_name=mixed.name,
+            stages=tuple(executed),
+            report=ctx.report,
+            campaign=ctx.campaign,
+            deviations=ctx.deviations,
+            timings=timings,
+        )

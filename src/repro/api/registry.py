@@ -1,0 +1,238 @@
+"""Circuit registry: every circuit in the repository, addressable by name.
+
+The paper's circuit zoo (:mod:`repro.circuits`) plus the ISCAS-class
+benchmark netlists are registered here once, so any flow can be driven as
+``session.run("fig4")`` or ``workbench.generate("example3-c432")``
+instead of hunting down the right factory function.
+
+Three kinds are registered:
+
+* ``mixed``   — full analog→conversion→digital assemblies, the inputs of
+  the test-generation pipeline;
+* ``analog``  — stand-alone filters (sensitivity / deviation studies);
+* ``digital`` — gate-level blocks (stand-alone or constrained ATPG).
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from .config import UnknownNameError
+
+__all__ = ["CircuitSpec", "CircuitRegistry", "default_registry"]
+
+KINDS = ("mixed", "analog", "digital")
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One registered circuit: a named, documented factory."""
+
+    name: str
+    kind: str
+    factory: Callable[[], object]
+    description: str = ""
+    aliases: tuple[str, ...] = ()
+
+    def build(self):
+        """Construct a fresh circuit instance."""
+        return self.factory()
+
+
+class CircuitRegistry:
+    """Name → circuit-factory registry with aliases and kind filters."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, CircuitSpec] = {}
+        self._aliases: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], object] | None = None,
+        *,
+        kind: str,
+        description: str = "",
+        aliases: tuple[str, ...] = (),
+    ):
+        """Register a circuit factory (directly or as a decorator).
+
+        Raises:
+            ValueError: on an unknown kind or a name/alias collision.
+        """
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+
+        def _add(fn: Callable[[], object]) -> Callable[[], object]:
+            for key in (name, *aliases):
+                if key in self._specs or key in self._aliases:
+                    raise ValueError(f"circuit name {key!r} already registered")
+            spec = CircuitSpec(name, kind, fn, description, tuple(aliases))
+            self._specs[name] = spec
+            for alias in aliases:
+                self._aliases[alias] = name
+            return fn
+
+        if factory is None:
+            return _add
+        _add(factory)
+        return factory
+
+    # ------------------------------------------------------------------
+    def resolve(self, name: str) -> str:
+        """Canonical name for ``name`` (which may be an alias)."""
+        if name in self._specs:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        candidates = list(self._specs) + list(self._aliases)
+        close = difflib.get_close_matches(name, candidates, n=3, cutoff=0.4)
+        hint = f"; did you mean {', '.join(close)}?" if close else ""
+        raise UnknownNameError(f"unknown circuit {name!r}{hint}")
+
+    def get(self, name: str) -> CircuitSpec:
+        """The :class:`CircuitSpec` registered under ``name`` (or alias)."""
+        return self._specs[self.resolve(name)]
+
+    def build(self, name: str):
+        """Construct a fresh instance of the named circuit."""
+        return self.get(name).build()
+
+    def names(self, kind: str | None = None) -> list[str]:
+        """Registered canonical names, optionally filtered by kind."""
+        return [
+            spec.name
+            for spec in self._specs.values()
+            if kind is None or spec.kind == kind
+        ]
+
+    def specs(self, kind: str | None = None) -> list[CircuitSpec]:
+        """Registered specs, optionally filtered by kind."""
+        return [
+            spec
+            for spec in self._specs.values()
+            if kind is None or spec.kind == kind
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs or name in self._aliases
+
+    def __iter__(self) -> Iterator[CircuitSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+# ----------------------------------------------------------------------
+_DEFAULT: CircuitRegistry | None = None
+
+
+def default_registry() -> CircuitRegistry:
+    """The shared registry pre-populated with the repository's circuits.
+
+    Built lazily on first use (circuit factories pull in the whole
+    stack); the same instance is returned afterwards, so user code can
+    extend it with additional registrations.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = _build_default_registry()
+    return _DEFAULT
+
+
+def _build_default_registry() -> CircuitRegistry:
+    from ..circuits import (
+        TABLE4_CIRCUITS,
+        bandpass_filter,
+        benchmark_digital,
+        chebyshev_filter,
+        example3_mixed_circuit,
+        fig3_circuit,
+        fig4_mixed_circuit,
+        state_variable_filter,
+    )
+
+    registry = CircuitRegistry()
+
+    # -- mixed assemblies ----------------------------------------------
+    registry.register(
+        "fig4",
+        fig4_mixed_circuit,
+        kind="mixed",
+        description=(
+            "Figure 4 mixed circuit: band-pass filter, 2-comparator "
+            "converter, Figure 3 digital block"
+        ),
+        aliases=("fig4-mixed",),
+    )
+    for bench in TABLE4_CIRCUITS:
+        registry.register(
+            f"example3-{bench}",
+            _example3_factory(example3_mixed_circuit, bench),
+            kind="mixed",
+            description=(
+                f"Example 3: Chebyshev filter + 15 comparators + {bench} "
+                "digital block"
+            ),
+        )
+
+    # -- stand-alone analog filters ------------------------------------
+    registry.register(
+        "bandpass",
+        bandpass_filter,
+        kind="analog",
+        description="Figure 2 band-pass filter (f0 = 2.5 kHz, Q = 2)",
+        aliases=("fig2-bandpass",),
+    )
+    registry.register(
+        "chebyshev",
+        chebyshev_filter,
+        kind="analog",
+        description="fifth-order Chebyshev low-pass filter (Example 3)",
+        aliases=("fig7-chebyshev",),
+    )
+    registry.register(
+        "state-variable",
+        state_variable_filter,
+        kind="analog",
+        description="state-variable filter of the board experiment",
+        aliases=("fig8-state-variable",),
+    )
+
+    # -- digital blocks -------------------------------------------------
+    registry.register(
+        "fig3",
+        fig3_circuit,
+        kind="digital",
+        description="the paper's Figure 3 example digital circuit",
+    )
+    for bench in TABLE4_CIRCUITS:
+        registry.register(
+            bench,
+            _digital_factory(benchmark_digital, bench),
+            kind="digital",
+            description=f"ISCAS85-class benchmark block {bench}",
+        )
+    return registry
+
+
+def _example3_factory(example3_mixed_circuit, bench: str):
+    def build():
+        return example3_mixed_circuit(bench)
+
+    build.__name__ = f"example3_{bench}"
+    build.__doc__ = f"Example 3 mixed circuit with the {bench} digital block."
+    return build
+
+
+def _digital_factory(benchmark_digital, bench: str):
+    def build():
+        return benchmark_digital(bench)
+
+    build.__name__ = f"digital_{bench}"
+    build.__doc__ = f"Benchmark digital block {bench}."
+    return build

@@ -13,6 +13,7 @@ import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
+from ..api.config import AtpgConfig
 from ..bdd.manager import TRUE, BddManager
 from ..bdd.ops import constraint_from_terms
 from ..digital.faults import Fault, collapse_faults, fault_universe
@@ -99,9 +100,11 @@ def run_atpg(
     circuit: Circuit,
     faults: Sequence[Fault] | None = None,
     constraint: Callable[[BddManager], int] | None = None,
-    ordering: str = "fanin",
-    compact: bool = True,
-    collapse: bool = True,
+    ordering: str | None = None,
+    compact: bool | None = None,
+    collapse: bool | None = None,
+    config: AtpgConfig | None = None,
+    cbdd: CircuitBdd | None = None,
 ) -> AtpgRun:
     """Run deterministic constrained ATPG over a circuit.
 
@@ -111,20 +114,38 @@ def run_atpg(
             the paper's ``Collap. Faults`` column) built from stems and
             fan-out branches.
         constraint: callable producing the ``Fc`` BDD on the engine's
-            manager; ``None`` runs the unconstrained case.
+            manager; ``None`` runs the unconstrained case.  Ignored when
+            ``config.constrained`` is ``False``.
         ordering: BDD variable ordering heuristic.
         compact: reverse-order fault-simulation compaction of the vectors.
         collapse: when ``faults`` is None, equivalence-collapse the
             default universe first.
+        config: typed configuration (:class:`repro.api.AtpgConfig`), the
+            canonical surface; the loose keyword arguments above are the
+            legacy shim and, when given explicitly, override it.
+        cbdd: an already-compiled circuit BDD for ``circuit`` to reuse
+            (the workbench's shared-manager path); ``ordering`` is then
+            ignored and compilation time is not re-paid.
 
     Returns:
         an :class:`AtpgRun` with per-fault results, vectors and CPU time.
     """
+    config = (config if config is not None else AtpgConfig()).with_overrides(
+        ordering=ordering,
+        compact=compact,
+        collapse=collapse,
+    )
+    if not config.constrained:
+        constraint = None  # the config force-disables the analog constraints
+    compact = config.compact
     if faults is None:
         universe = fault_universe(circuit, include_branches=True)
-        faults = collapse_faults(circuit, universe) if collapse else universe
+        faults = (
+            collapse_faults(circuit, universe) if config.collapse else universe
+        )
     start = time.perf_counter()
-    cbdd = CircuitBdd(circuit, ordering=ordering)
+    if cbdd is None:
+        cbdd = CircuitBdd(circuit, ordering=config.ordering)
     fc = TRUE if constraint is None else constraint(cbdd.mgr)
     generator = StuckAtGenerator(cbdd, constraint=fc)
     results = [generator.generate(fault) for fault in faults]

@@ -33,6 +33,8 @@ __all__ = ["TestStatus", "TestResult", "StuckAtGenerator"]
 class TestStatus(str, Enum):
     """Outcome of test generation for one fault."""
 
+    __test__ = False  # not a pytest test class
+
     DETECTED = "detected"
     UNTESTABLE = "untestable"
     #: Testable stand-alone but killed by the analog constraints — the
@@ -43,6 +45,8 @@ class TestStatus(str, Enum):
 @dataclass
 class TestResult:
     """Result of generating a test for one fault."""
+
+    __test__ = False  # not a pytest test class
 
     fault: Fault
     status: TestStatus

@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..analog import parametric
+from ..api.config import CampaignConfig
 from ..digital.simulate import simulate
 from .coverage import MixedTestReport
 from .mixed_circuit import MixedSignalCircuit
@@ -105,9 +106,10 @@ def _step_detects(
 def run_campaign(
     mixed: MixedSignalCircuit,
     report: MixedTestReport,
-    faults_per_element: int = 6,
-    severity_range: tuple[float, float] = (0.5, 3.0),
-    seed: int = 2024,
+    faults_per_element: int | None = None,
+    severity_range: tuple[float, float] | None = None,
+    seed: int | None = None,
+    config: CampaignConfig | None = None,
 ) -> CampaignResult:
     """Inject seeded analog faults and execute the emitted program.
 
@@ -115,8 +117,19 @@ def run_campaign(
     deviations are drawn with severities (multiples of the element's
     computed E.D.) uniform in ``severity_range``, both directions.  Every
     program step is tried against every fault — any step may catch it.
+
+    The canonical configuration is a typed
+    :class:`repro.api.CampaignConfig`; the loose keyword arguments are
+    the legacy surface (explicit values override the config).
     """
-    rng = random.Random(seed)
+    config = (config if config is not None else CampaignConfig()).with_overrides(
+        faults_per_element=faults_per_element,
+        severity_range=severity_range,
+        seed=seed,
+    )
+    faults_per_element = config.faults_per_element
+    severity_range = config.severity_range
+    rng = random.Random(config.seed)
     testable = [t for t in report.analog_tests if t.testable]
     result = CampaignResult()
     for test in testable:

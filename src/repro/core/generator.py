@@ -32,6 +32,7 @@ from ..analog import (
     sensitivity_matrix,
     worst_case_deviation,
 )
+from ..api.config import GeneratorConfig
 from ..atpg import CompositeValue, propagate_composite, run_atpg
 from ..conversion import constrained_ladder_coverage
 from .activation import activate
@@ -49,6 +50,11 @@ _FAULT_MARGIN = 1.25
 class MixedSignalTestGenerator:
     """End-to-end test generation for a :class:`MixedSignalCircuit`.
 
+    The canonical configuration is a typed
+    :class:`repro.api.GeneratorConfig`; the loose keyword arguments are
+    the legacy surface and keep working (explicit values override the
+    config).
+
     Args:
         mixed: the circuit under test.
         tolerance: parameter tolerance box (paper: 5 %).
@@ -63,22 +69,31 @@ class MixedSignalTestGenerator:
             E.D. values are reused rather than recomputed.  This is what
             makes case 2 test elements with *the same accuracy* as
             case 1 (Table 3's claim).
+        config: typed configuration bundle; the new-style equivalent of
+            the keyword arguments above.
     """
 
     def __init__(
         self,
         mixed: MixedSignalCircuit,
-        tolerance: float = 0.05,
-        element_tolerance: float = 0.05,
+        tolerance: float | None = None,
+        element_tolerance: float | None = None,
         comparator_budget: int | None = None,
         matrix: DeviationMatrix | None = None,
+        config: GeneratorConfig | None = None,
     ):
+        config = (config if config is not None else GeneratorConfig()).with_overrides(
+            tolerance=tolerance,
+            element_tolerance=element_tolerance,
+            comparator_budget=comparator_budget,
+        )
         self.mixed = mixed
-        self.tolerance = tolerance
-        self.element_tolerance = element_tolerance
+        self.config = config
+        self.tolerance = config.tolerance
+        self.element_tolerance = config.element_tolerance
         self.comparator_budget = (
-            comparator_budget
-            if comparator_budget is not None
+            config.comparator_budget
+            if config.comparator_budget is not None
             else mixed.adc.n_comparators
         )
         self.matrix = matrix
@@ -221,10 +236,18 @@ class MixedSignalTestGenerator:
     # ------------------------------------------------------------------
     def run(
         self,
-        include_digital: bool = True,
-        include_unconstrained: bool = False,
+        include_digital: bool | None = None,
+        include_unconstrained: bool | None = None,
     ) -> MixedTestReport:
-        """Run the whole flow and return the consolidated report."""
+        """Run the whole flow and return the consolidated report.
+
+        The flags default to the generator's config
+        (``include_digital``/``include_unconstrained``).
+        """
+        if include_digital is None:
+            include_digital = self.config.include_digital
+        if include_unconstrained is None:
+            include_unconstrained = self.config.include_unconstrained
         report = MixedTestReport(self.mixed.name)
         for element in self.mixed.analog.element_names():
             report.analog_tests.append(self.analog_element_test(element))
@@ -237,10 +260,14 @@ class MixedSignalTestGenerator:
             element_tolerance=self.element_tolerance,
         )
         if include_digital:
+            cbdd = self.mixed.compiled_digital()
             report.digital_run = run_atpg(
                 self.mixed.digital,
                 constraint=self.mixed.constraint_builder(),
+                cbdd=cbdd,
             )
             if include_unconstrained:
-                report.digital_run_unconstrained = run_atpg(self.mixed.digital)
+                report.digital_run_unconstrained = run_atpg(
+                    self.mixed.digital, cbdd=cbdd
+                )
         return report

@@ -14,7 +14,14 @@ from dataclasses import dataclass, field
 from ..atpg import AnalogStimulus, DigitalVector, MixedTestStep
 from .coverage import MixedTestReport
 
-__all__ = ["TestProgram", "program_from_report", "dumps", "loads"]
+__all__ = [
+    "TestProgram",
+    "program_from_report",
+    "to_document",
+    "from_document",
+    "dumps",
+    "loads",
+]
 
 _FORMAT_VERSION = 1
 
@@ -22,6 +29,8 @@ _FORMAT_VERSION = 1
 @dataclass
 class TestProgram:
     """A serializable mixed-signal test program."""
+
+    __test__ = False  # not a pytest test class
 
     circuit_name: str
     analog_steps: list[MixedTestStep] = field(default_factory=list)
@@ -47,9 +56,13 @@ def program_from_report(report: MixedTestReport) -> TestProgram:
     )
 
 
-def dumps(program: TestProgram) -> str:
-    """Serialize a program to a stable, human-auditable JSON string."""
-    document = {
+def to_document(program: TestProgram) -> dict:
+    """The program as a plain versioned document (dict of JSON types).
+
+    This is the payload format shared with :class:`repro.api.Artifact`;
+    :func:`dumps` is ``json.dumps`` over it.
+    """
+    return {
         "format_version": _FORMAT_VERSION,
         "circuit": program.circuit_name,
         "analog_steps": [
@@ -75,12 +88,15 @@ def dumps(program: TestProgram) -> str:
             for vector in program.digital_vectors
         ],
     }
-    return json.dumps(document, indent=2, sort_keys=True)
 
 
-def loads(text: str) -> TestProgram:
-    """Parse a program previously produced by :func:`dumps`."""
-    document = json.loads(text)
+def dumps(program: TestProgram) -> str:
+    """Serialize a program to a stable, human-auditable JSON string."""
+    return json.dumps(to_document(program), indent=2, sort_keys=True)
+
+
+def from_document(document: dict) -> TestProgram:
+    """Rebuild a program from a :func:`to_document` dict."""
     version = document.get("format_version")
     if version != _FORMAT_VERSION:
         raise ValueError(
@@ -112,3 +128,8 @@ def loads(text: str) -> TestProgram:
         analog_steps=steps,
         digital_vectors=[dict(v) for v in document["digital_vectors"]],
     )
+
+
+def loads(text: str) -> TestProgram:
+    """Parse a program previously produced by :func:`dumps`."""
+    return from_document(json.loads(text))

@@ -1,13 +1,16 @@
 """Run every experiment and print every regenerated table/figure.
 
-``python -m repro.experiments.runner`` reproduces the paper's whole
+``python -m repro experiment all`` (or the legacy
+``python -m repro.experiments.runner``) reproduces the paper's whole
 evaluation section in one go (several minutes of CPU); individual
 experiments are importable and runnable on their own.
+
+Execution routes through the :class:`repro.api.Workbench` facade, so
+every run is timed and can be persisted as an ``experiment`` artifact
+(``python -m repro experiment table1 --json table1.json``).
 """
 
 from __future__ import annotations
-
-import time
 
 from . import (
     example1,
@@ -24,7 +27,7 @@ from . import (
     table8,
 )
 
-__all__ = ["EXPERIMENTS", "run_all"]
+__all__ = ["EXPERIMENTS", "format_section", "run_all"]
 
 #: experiment id -> module with a ``run()`` returning a ``render()``-able.
 EXPERIMENTS = {
@@ -43,19 +46,20 @@ EXPERIMENTS = {
 }
 
 
-def run_all(names: list[str] | None = None) -> str:
+def format_section(run) -> str:
+    """One report section for an :class:`repro.api.ExperimentRun`."""
+    return f"######## {run.name} ({run.seconds:.1f}s) ########\n{run.rendered}"
+
+
+def run_all(names: list[str] | None = None, workbench=None) -> str:
     """Run the selected (default: all) experiments; returns the report."""
+    from ..api import Workbench  # runtime import: api sits above experiments
+
+    wb = workbench if workbench is not None else Workbench()
     chosen = names or list(EXPERIMENTS)
-    sections: list[str] = []
-    for name in chosen:
-        module = EXPERIMENTS[name]
-        start = time.perf_counter()
-        result = module.run()
-        elapsed = time.perf_counter() - start
-        sections.append(
-            f"######## {name} ({elapsed:.1f}s) ########\n{result.render()}"
-        )
-    return "\n\n".join(sections)
+    return "\n\n".join(
+        format_section(wb.run_experiment(name)) for name in chosen
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,24 @@
+"""Shared fixtures: one full fig4 workbench run reused across tests."""
+
+import pytest
+
+from repro.api import CampaignConfig, SessionConfig, TestSession
+
+
+@pytest.fixture(scope="session")
+def fig4_session():
+    """A session configured for a small, fast, seeded campaign."""
+    return TestSession(
+        config=SessionConfig(
+            campaign=CampaignConfig(faults_per_element=2, seed=11)
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def fig4_result(fig4_session):
+    """fig4 through every stage except the slow deviation study."""
+    return fig4_session.run(
+        "fig4",
+        stages=("sensitivity", "stimulus", "conversion", "atpg", "campaign"),
+    )

@@ -1,0 +1,113 @@
+"""Artifact JSON: round-trips, program_io compatibility, legacy loads."""
+
+import math
+
+import pytest
+
+from repro.api import Artifact
+from repro.core import program_from_report, program_io
+
+
+class TestReportArtifact:
+    def test_json_round_trip_is_stable(self, fig4_result):
+        artifact = fig4_result.to_artifact()
+        text = artifact.to_json()
+        again = Artifact.from_json(text)
+        assert again.to_json() == text
+        assert again.kind == "report"
+        assert again.circuit == "fig4-mixed"
+
+    def test_decoded_report_answers_like_the_live_one(self, fig4_result):
+        live = fig4_result.report
+        decoded = Artifact.from_json(
+            fig4_result.to_artifact().to_json()
+        ).report()
+        assert decoded.circuit_name == live.circuit_name
+        assert decoded.n_analog_testable == live.n_analog_testable
+        assert decoded.analog_coverage == live.analog_coverage
+        assert decoded.comparator_observability == (
+            live.comparator_observability
+        )
+        assert decoded.digital_run.n_untestable == live.digital_run.n_untestable
+        assert decoded.digital_run.n_vectors == live.digital_run.n_vectors
+        assert decoded.summary() == live.summary()
+
+    def test_untestable_inf_survives_strict_json(self, fig4_result):
+        artifact = fig4_result.to_artifact()
+        assert "Infinity" not in artifact.to_json()
+        coverage = Artifact.from_json(artifact.to_json()).report()
+        # fig4's conversion ladder has a merged middle tap with finite ED
+        # and every tap observable; infs appear in per-test ed defaults.
+        assert all(
+            math.isinf(ed) or ed > 0
+            for ed in coverage.conversion_coverage.ed_percent
+        )
+
+    def test_campaign_round_trip(self, fig4_result):
+        decoded = Artifact.from_json(
+            fig4_result.to_artifact().to_json()
+        ).campaign()
+        live = fig4_result.campaign
+        assert decoded.n_injected == live.n_injected
+        assert decoded.detection_rate() == live.detection_rate()
+        assert decoded.summary() == live.summary()
+
+    def test_wrong_kind_accessors_raise(self, fig4_result):
+        artifact = fig4_result.to_artifact()
+        with pytest.raises(ValueError):
+            artifact.program()
+        with pytest.raises(ValueError):
+            artifact.atpg()
+
+
+class TestProgramArtifact:
+    def test_round_trip_matches_program_io(self, fig4_result):
+        program = program_from_report(fig4_result.report)
+        artifact = Artifact.from_program(program)
+        decoded = Artifact.from_json(artifact.to_json()).program()
+        assert program_io.dumps(decoded) == program_io.dumps(program)
+
+    def test_legacy_program_io_document_loads(self, fig4_result):
+        """Archives written by program_io.dumps stay loadable."""
+        program = program_from_report(fig4_result.report)
+        legacy_text = program_io.dumps(program)
+        artifact = Artifact.from_json(legacy_text)
+        assert artifact.kind == "program"
+        assert artifact.meta["legacy_program_io"] is True
+        assert program_io.dumps(artifact.program()) == legacy_text
+
+    def test_payload_is_the_program_io_document(self, fig4_result):
+        program = program_from_report(fig4_result.report)
+        artifact = Artifact.from_program(program)
+        assert artifact.payload == program_io.to_document(program)
+
+
+class TestAtpgArtifact:
+    def test_round_trip(self, fig4_result):
+        run = fig4_result.report.digital_run
+        decoded = Artifact.from_json(
+            Artifact.from_atpg(run).to_json()
+        ).atpg()
+        assert decoded.circuit_name == run.circuit_name
+        assert decoded.n_untestable == run.n_untestable
+        assert decoded.n_vectors == run.n_vectors
+        assert decoded.vectors == run.vectors
+        assert decoded.fault_coverage == pytest.approx(run.fault_coverage)
+
+
+class TestEnvelope:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Artifact(kind="mystery", circuit=None, payload={})
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            Artifact.from_document(
+                {"artifact_version": 99, "kind": "report", "payload": {}}
+            )
+
+    def test_save_and_load(self, tmp_path, fig4_result):
+        path = fig4_result.to_artifact().save(tmp_path / "fig4.json")
+        assert Artifact.load(path).to_json() == (
+            fig4_result.to_artifact().to_json()
+        )

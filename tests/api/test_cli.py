@@ -1,0 +1,68 @@
+"""The ``python -m repro`` CLI, driven in-process."""
+
+import json
+
+from repro.api.cli import main
+
+
+class TestList:
+    def test_lists_circuits_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "example3-c432" in out
+        assert "table1" in out
+
+    def test_kind_filter(self, capsys):
+        assert main(["list", "--kind", "digital"]) == 0
+        out = capsys.readouterr().out
+        assert "c432" in out
+        assert "fig4 " not in out
+
+
+class TestGenerate:
+    def test_writes_a_report_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "fig4.json"
+        program_path = tmp_path / "fig4-program.json"
+        code = main(
+            [
+                "generate", "fig4",
+                "--stages", "sensitivity,stimulus",
+                "--json", str(out_path),
+                "--program", str(program_path),
+            ]
+        )
+        assert code == 0
+        assert "elements testable" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["artifact_version"] == 1
+        assert document["kind"] == "report"
+        assert document["circuit"] == "fig4-mixed"
+        assert document["meta"]["stages"] == ["sensitivity", "stimulus"]
+        program = json.loads(program_path.read_text())
+        assert program["kind"] == "program"
+        assert program["payload"]["format_version"] == 1
+
+    def test_unknown_circuit_is_a_clean_error(self, capsys):
+        assert main(["generate", "fig5"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_runs_and_persists(self, tmp_path, capsys):
+        out_path = tmp_path / "figure6.json"
+        assert main(["experiment", "figure6", "--json", str(out_path)]) == 0
+        assert "figure6" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        assert document["kind"] == "experiment"
+        assert document["payload"]["name"] == "figure6"
+
+    def test_unknown_experiment_is_a_clean_error(self, capsys):
+        assert main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestBenchSmoke:
+    def test_passes(self, capsys):
+        assert main(["bench-smoke"]) == 0
+        assert "all checks passed" in capsys.readouterr().out

@@ -1,0 +1,83 @@
+"""Typed config validation: constructors reject out-of-range values."""
+
+import pytest
+
+from repro.api import (
+    AtpgConfig,
+    CampaignConfig,
+    ConfigError,
+    GeneratorConfig,
+    SessionConfig,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_match_the_paper(self):
+        config = GeneratorConfig()
+        assert config.tolerance == 0.05
+        assert config.element_tolerance == 0.05
+        assert config.comparator_budget is None
+        assert config.include_digital
+
+    @pytest.mark.parametrize("tolerance", [0.0, 1.0, -0.1, 2.0])
+    def test_tolerance_out_of_range(self, tolerance):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(tolerance=tolerance)
+
+    def test_element_tolerance_out_of_range(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(element_tolerance=1.5)
+
+    def test_comparator_budget_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            GeneratorConfig(comparator_budget=0)
+
+    def test_replace_returns_validated_copy(self):
+        config = GeneratorConfig().replace(tolerance=0.1)
+        assert config.tolerance == 0.1
+        assert GeneratorConfig().tolerance == 0.05  # original untouched
+        with pytest.raises(ConfigError):
+            config.replace(tolerance=7.0)
+
+    def test_replace_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="no field"):
+            GeneratorConfig().replace(tollerance=0.1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GeneratorConfig().tolerance = 0.2
+
+    def test_as_dict(self):
+        assert GeneratorConfig().as_dict()["tolerance"] == 0.05
+
+
+class TestCampaignConfig:
+    def test_faults_per_element_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(faults_per_element=0)
+
+    @pytest.mark.parametrize(
+        "rng", [(3.0, 0.5), (0.0, 2.0), (-1.0, 1.0), (1.0, 2.0, 3.0)]
+    )
+    def test_severity_range_validated(self, rng):
+        with pytest.raises(ConfigError):
+            CampaignConfig(severity_range=rng)
+
+
+class TestAtpgConfig:
+    def test_ordering_validated(self):
+        with pytest.raises(ConfigError, match="ordering"):
+            AtpgConfig(ordering="alphabetical")
+        assert AtpgConfig(ordering="declaration").ordering == "declaration"
+
+
+class TestSessionConfig:
+    def test_bundles_defaults(self):
+        config = SessionConfig()
+        assert config.generator == GeneratorConfig()
+        assert config.campaign == CampaignConfig()
+        assert config.atpg == AtpgConfig()
+
+    def test_max_workers_validated(self):
+        with pytest.raises(ConfigError):
+            SessionConfig(max_workers=0)

@@ -1,0 +1,74 @@
+"""Registry lookup: names, aliases, kinds, errors, custom registration."""
+
+import pytest
+
+from repro.api import CircuitRegistry, default_registry
+from repro.core import MixedSignalCircuit
+
+
+class TestDefaultRegistry:
+    def test_registers_the_papers_circuits(self):
+        registry = default_registry()
+        for name in (
+            "fig4", "example3-c432", "example3-c1908",
+            "bandpass", "chebyshev", "state-variable",
+            "fig3", "c432", "c499", "c880", "c1355", "c1908",
+        ):
+            assert name in registry
+
+    def test_alias_resolves_to_canonical_name(self):
+        registry = default_registry()
+        assert registry.resolve("fig4-mixed") == "fig4"
+        assert registry.get("fig2-bandpass").name == "bandpass"
+
+    def test_kind_filter(self):
+        registry = default_registry()
+        mixed = registry.names("mixed")
+        assert "fig4" in mixed and "c432" not in mixed
+        digital = registry.names("digital")
+        assert "c432" in digital and "fig4" not in digital
+
+    def test_build_constructs_fresh_instances(self):
+        registry = default_registry()
+        first = registry.build("fig4")
+        second = registry.build("fig4")
+        assert isinstance(first, MixedSignalCircuit)
+        assert first is not second
+
+    def test_unknown_name_suggests_alternatives(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            default_registry().get("fig5")
+
+    def test_same_instance_returned(self):
+        assert default_registry() is default_registry()
+
+
+class TestCustomRegistration:
+    def test_register_and_build(self):
+        registry = CircuitRegistry()
+        registry.register(
+            "probe", lambda: "circuit", kind="digital", aliases=("p",)
+        )
+        assert registry.build("probe") == "circuit"
+        assert registry.build("p") == "circuit"
+        assert len(registry) == 1
+
+    def test_decorator_form(self):
+        registry = CircuitRegistry()
+
+        @registry.register("probe", kind="digital")
+        def build_probe():
+            return 42
+
+        assert registry.build("probe") == 42
+        assert build_probe() == 42
+
+    def test_duplicate_name_rejected(self):
+        registry = CircuitRegistry()
+        registry.register("probe", lambda: 1, kind="digital")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("probe", lambda: 2, kind="digital")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            CircuitRegistry().register("probe", lambda: 1, kind="quantum")

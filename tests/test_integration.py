@@ -82,19 +82,24 @@ class TestConstraintSoundness:
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_exports(self):
         assert hasattr(repro, "MixedSignalTestGenerator")
         assert hasattr(repro, "MixedSignalCircuit")
         assert hasattr(repro, "StateVariableBoard")
+        # the unified workbench API
+        assert hasattr(repro, "Workbench")
+        assert hasattr(repro, "TestSession")
+        assert hasattr(repro, "Artifact")
+        assert hasattr(repro, "GeneratorConfig")
 
     def test_all_submodules_importable(self):
         import importlib
 
         for name in (
             "bdd", "digital", "atpg", "spice", "analog", "conversion",
-            "circuits", "core", "experiments",
+            "circuits", "core", "experiments", "api",
         ):
             module = importlib.import_module(f"repro.{name}")
             assert hasattr(module, "__all__") or name == "experiments"
