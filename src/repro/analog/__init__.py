@@ -35,6 +35,18 @@ from .faults import (
     parametric,
     short_fault,
 )
+from .faultsim import (
+    ENGINES,
+    CampaignEngine,
+    CampaignResult,
+    FactorizedEngine,
+    FaultSpec,
+    InjectionOutcome,
+    ReferenceEngine,
+    draw_faults,
+    get_engine,
+    step_order,
+)
 
 __all__ = [
     "ParameterKind",
@@ -64,4 +76,14 @@ __all__ = [
     "open_fault",
     "short_fault",
     "catastrophic_faults",
+    "InjectionOutcome",
+    "CampaignResult",
+    "FaultSpec",
+    "draw_faults",
+    "step_order",
+    "CampaignEngine",
+    "ReferenceEngine",
+    "FactorizedEngine",
+    "ENGINES",
+    "get_engine",
 ]

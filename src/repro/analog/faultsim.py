@@ -1,0 +1,414 @@
+"""Analog fault-simulation engines behind the injection campaign.
+
+The campaign's figure of merit — "does the emitted program catch
+injected parametric faults?" — reduces to many solves of the same MNA
+system with one element deviated at a time.  Two engines share one
+fault population and one detection semantics:
+
+* ``reference`` — the straightforward oracle: every faulty converter
+  code comes from a full re-assemble-and-solve of the deviated circuit
+  (``with_deviations`` + :meth:`MixedSignalCircuit.converter_code`).
+  Good-circuit codes are hoisted out of the fault loop (they are fault
+  independent), but nothing else is cached.
+* ``factorized`` — the fast path: per-frequency LU factorizations of
+  the *good* circuit are built once (:meth:`repro.spice.MnaSolver.
+  factorized`), every faulty response is a Sherman–Morrison rank-one update
+  against that factorization, faulty gains are memoized per
+  ``(element, deviation, frequency)``, digital fault propagation is
+  memoized per ``(step, faulty code)``, and the program step that
+  targets the faulted element is tried first (early exit).  Optionally
+  fans out over faults with a thread pool.
+
+Both engines walk the program steps in the same order (the faulted
+element's own step first), so — floating-point coincidences at a
+comparator threshold aside — they produce *identical* outcome lists for
+the same seed.  The differential test suite holds them to that.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..digital.simulate import simulate
+from ..spice import AnalogError, MnaSolver, VoltageSource
+
+__all__ = [
+    "InjectionOutcome",
+    "CampaignResult",
+    "FaultSpec",
+    "draw_faults",
+    "step_order",
+    "CampaignEngine",
+    "ReferenceEngine",
+    "FactorizedEngine",
+    "ENGINES",
+    "get_engine",
+]
+
+
+@dataclass
+class InjectionOutcome:
+    """One injected fault and whether the program caught it."""
+
+    element: str
+    deviation: float
+    #: deviation / guaranteed-detectable deviation (>1 = must catch).
+    severity: float
+    detected: bool
+    detecting_target: str | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate campaign statistics."""
+
+    outcomes: list[InjectionOutcome] = field(default_factory=list)
+
+    @property
+    def n_injected(self) -> int:
+        """Total faults injected."""
+        return len(self.outcomes)
+
+    def detection_rate(self, min_severity: float = 0.0) -> float:
+        """Detected / injected among faults at or above a severity."""
+        eligible = [
+            o for o in self.outcomes if o.severity >= min_severity
+        ]
+        if not eligible:
+            return 1.0
+        return sum(o.detected for o in eligible) / len(eligible)
+
+    @property
+    def guaranteed_detection_rate(self) -> float:
+        """Detection rate over faults beyond their computed E.D.
+
+        The method's promise: this should be 1.0.
+        """
+        return self.detection_rate(min_severity=1.05)
+
+    def summary(self) -> str:
+        """One-paragraph recap."""
+        return (
+            f"{self.n_injected} faults injected; "
+            f"{self.detection_rate():.1%} overall detection, "
+            f"{self.guaranteed_detection_rate:.1%} beyond the computed "
+            f"worst-case deviation"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One drawn parametric fault, before execution."""
+
+    element: str
+    deviation: float
+    severity: float
+
+
+def draw_faults(
+    testable: Sequence,
+    faults_per_element: int,
+    severity_range: tuple[float, float],
+    rng: random.Random,
+) -> list[FaultSpec]:
+    """Draw the seeded fault population both engines consume.
+
+    The draw order (per element: severity, then direction) is the
+    campaign's historical RNG contract — outcomes for a given seed stay
+    comparable across engines and releases.
+    """
+    faults: list[FaultSpec] = []
+    for test in testable:
+        ed = test.ed_percent / 100.0
+        for _ in range(faults_per_element):
+            severity = rng.uniform(*severity_range)
+            direction = rng.choice((+1.0, -1.0))
+            deviation = direction * severity * ed
+            if deviation <= -0.95:
+                deviation = -0.95  # keep element values positive
+            faults.append(FaultSpec(test.element, deviation, severity))
+    return faults
+
+
+def step_order(steps: Sequence, element: str) -> list[int]:
+    """Step indices with the faulted element's own step(s) first.
+
+    The step generated *for* the deviated element is overwhelmingly the
+    one that detects it, so trying it first makes the early exit fire on
+    the first iteration for almost every fault.  Both engines use this
+    order, keeping their outcome lists (including ``detecting_target``)
+    identical.
+    """
+    own = [i for i, step in enumerate(steps) if step.element == element]
+    rest = [i for i, step in enumerate(steps) if step.element != element]
+    return own + rest
+
+
+class _UnitSource:
+    """Temporarily drive the analog source at unit amplitude.
+
+    Mirrors :func:`repro.spice.ac.transfer`: with the source at 1 V the
+    output phasor *is* the transfer value, for the AC (``ac``) and DC
+    (``dc``) systems alike.  Restores the original levels on exit, even
+    when a solve fails mid-campaign.
+    """
+
+    def __init__(self, circuit, source_name: str):
+        source = circuit.component(source_name)
+        if not isinstance(source, VoltageSource):
+            raise AnalogError(f"{source_name!r} is not a voltage source")
+        self._source = source
+        self._saved: tuple[float, float] | None = None
+
+    def __enter__(self) -> VoltageSource:
+        self._saved = (self._source.ac, self._source.dc)
+        self._source.ac, self._source.dc = 1.0, 1.0
+        return self._source
+
+    def __exit__(self, *exc_info) -> None:
+        self._source.ac, self._source.dc = self._saved
+
+
+def _convert(thresholds: tuple[float, ...], v_in: float) -> tuple[int, ...]:
+    """Thermometer code against hoisted ladder thresholds.
+
+    Must mirror :meth:`repro.conversion.FlashAdc.convert` bit for bit —
+    the differential suite compares engine outcome lists exactly.
+    """
+    return tuple(1 if v_in > vt else 0 for vt in thresholds)
+
+
+class CampaignEngine:
+    """Interface: execute a fault population against a test program.
+
+    ``steps`` are the testable :class:`repro.core.AnalogElementTest`
+    entries (each carries a stimulus and a digital vector); ``mixed`` is
+    the circuit under test.  Returns one :class:`InjectionOutcome` per
+    fault, in fault order.
+    """
+
+    name = "abstract"
+
+    def run(
+        self,
+        mixed,
+        steps: Sequence,
+        faults: Sequence[FaultSpec],
+        max_workers: int | None = None,
+    ) -> list[InjectionOutcome]:
+        raise NotImplementedError
+
+
+class ReferenceEngine(CampaignEngine):
+    """The slow, obviously-correct oracle.
+
+    Every faulty response is a full re-assemble-and-solve of the
+    deviated circuit.  The only lifting out of the fault loop is the
+    good-circuit converter codes, which do not depend on the fault.
+    """
+
+    name = "reference"
+
+    def run(
+        self,
+        mixed,
+        steps: Sequence,
+        faults: Sequence[FaultSpec],
+        max_workers: int | None = None,
+    ) -> list[InjectionOutcome]:
+        # Good-circuit codes are fault independent: compute once per
+        # step, not once per (fault, step) pair.
+        good_codes = [
+            mixed.converter_code(
+                step.stimulus.frequency_hz, step.stimulus.amplitude
+            )
+            for step in steps
+        ]
+        outcomes: list[InjectionOutcome] = []
+        for fault in faults:
+            detected, detecting = False, None
+            for index in step_order(steps, fault.element):
+                if self._step_detects(
+                    mixed, steps[index], good_codes[index], fault
+                ):
+                    detected, detecting = True, steps[index].element
+                    break
+            outcomes.append(
+                InjectionOutcome(
+                    element=fault.element,
+                    deviation=fault.deviation,
+                    severity=fault.severity,
+                    detected=detected,
+                    detecting_target=detecting,
+                )
+            )
+        return outcomes
+
+    @staticmethod
+    def _step_detects(mixed, step, good_code, fault: FaultSpec) -> bool:
+        """Execute one program step against one injected analog fault."""
+        frequency = step.stimulus.frequency_hz
+        amplitude = step.stimulus.amplitude
+        with mixed.analog.with_deviations({fault.element: fault.deviation}):
+            faulty_code = mixed.converter_code(frequency, amplitude)
+        if faulty_code == good_code:
+            return False
+        assignment_good = dict(step.vector)
+        assignment_faulty = dict(step.vector)
+        for line, good, faulty in zip(
+            mixed.converter_lines, good_code, faulty_code
+        ):
+            assignment_good[line] = good
+            assignment_faulty[line] = faulty
+        good_outputs = simulate(mixed.digital, assignment_good)
+        faulty_outputs = simulate(mixed.digital, assignment_faulty)
+        return any(
+            good_outputs[o] != faulty_outputs[o]
+            for o in mixed.digital.outputs
+        )
+
+
+class FactorizedEngine(CampaignEngine):
+    """LU-factorized fast path: same outcomes, ~an order of magnitude
+    less work per fault.
+
+    Cost model per fault: one memoized Sherman–Morrison update (two
+    triangular solves) for the own-element step, which almost always
+    detects and exits early — versus the reference engine's full matrix
+    assembly and dense solve per (fault, step) pair, twice (good and
+    faulty circuit).
+    """
+
+    name = "factorized"
+
+    def run(
+        self,
+        mixed,
+        steps: Sequence,
+        faults: Sequence[FaultSpec],
+        max_workers: int | None = None,
+    ) -> list[InjectionOutcome]:
+        if not faults:
+            return []
+        circuit = mixed.analog
+        output = mixed.analog_output
+        digital_outputs = tuple(mixed.digital.outputs)
+        converter_lines = tuple(mixed.converter_lines)
+        thresholds = tuple(mixed.adc.thresholds())
+        with _UnitSource(circuit, mixed.analog_source):
+            solver = MnaSolver(circuit)
+            # One LU per distinct stimulus frequency, shared by every
+            # fault; built serially before any fan-out.
+            factorized = {}
+            good_gain = {}
+            for step in steps:
+                frequency = step.stimulus.frequency_hz
+                if frequency not in factorized:
+                    system = solver.factorized(frequency)
+                    factorized[frequency] = system
+                    good_gain[frequency] = abs(system.solution().voltage(output))
+            # Good codes and good digital responses, hoisted per step.
+            good_codes: list[tuple[int, ...]] = []
+            good_words: list[tuple[int, ...]] = []
+            for step in steps:
+                stimulus = step.stimulus
+                code = _convert(
+                    thresholds,
+                    stimulus.amplitude * good_gain[stimulus.frequency_hz],
+                )
+                good_codes.append(code)
+                assignment = dict(step.vector)
+                for line, bit in zip(converter_lines, code):
+                    assignment[line] = bit
+                response = simulate(mixed.digital, assignment)
+                good_words.append(
+                    tuple(response[o] for o in digital_outputs)
+                )
+            orders = {
+                element: step_order(steps, element)
+                for element in {fault.element for fault in faults}
+            }
+            # Memoization across faults and steps.  Concurrent writes
+            # are benign: values are deterministic, a lost update only
+            # costs a recompute.
+            gain_memo: dict[tuple[str, float, float], float] = {}
+            detect_memo: dict[tuple[int, tuple[int, ...]], bool] = {}
+
+            def evaluate(fault: FaultSpec) -> tuple[bool, str | None]:
+                for index in orders[fault.element]:
+                    step = steps[index]
+                    stimulus = step.stimulus
+                    gain_key = (
+                        fault.element,
+                        fault.deviation,
+                        stimulus.frequency_hz,
+                    )
+                    gain = gain_memo.get(gain_key)
+                    if gain is None:
+                        gain = abs(
+                            factorized[stimulus.frequency_hz].deviated_voltage(
+                                fault.element, fault.deviation, output
+                            )
+                        )
+                        gain_memo[gain_key] = gain
+                    code = _convert(thresholds, stimulus.amplitude * gain)
+                    if code == good_codes[index]:
+                        continue  # conversion masks the fault at this step
+                    detect_key = (index, code)
+                    hit = detect_memo.get(detect_key)
+                    if hit is None:
+                        assignment = dict(step.vector)
+                        for line, bit in zip(converter_lines, code):
+                            assignment[line] = bit
+                        response = simulate(mixed.digital, assignment)
+                        hit = any(
+                            response[o] != word
+                            for o, word in zip(
+                                digital_outputs, good_words[index]
+                            )
+                        )
+                        detect_memo[detect_key] = hit
+                    if hit:
+                        return True, step.element
+                return False, None
+
+            if max_workers is not None and max_workers > 1 and len(faults) > 1:
+                workers = min(max_workers, len(faults))
+                with ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-faultsim"
+                ) as pool:
+                    verdicts = list(pool.map(evaluate, faults))
+            else:
+                verdicts = [evaluate(fault) for fault in faults]
+        return [
+            InjectionOutcome(
+                element=fault.element,
+                deviation=fault.deviation,
+                severity=fault.severity,
+                detected=detected,
+                detecting_target=detecting,
+            )
+            for fault, (detected, detecting) in zip(faults, verdicts)
+        ]
+
+
+#: engine name → engine instance; names mirror
+#: ``repro.api.config.CAMPAIGN_ENGINES``.
+ENGINES: dict[str, CampaignEngine] = {
+    ReferenceEngine.name: ReferenceEngine(),
+    FactorizedEngine.name: FactorizedEngine(),
+}
+
+
+def get_engine(name: str) -> CampaignEngine:
+    """Look up a campaign engine by name."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise AnalogError(
+            f"unknown fault-simulation engine {name!r}; "
+            f"known: {', '.join(sorted(ENGINES))}"
+        ) from None

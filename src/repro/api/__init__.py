@@ -18,6 +18,7 @@ everything else loads on first attribute access.
 """
 
 from .config import (
+    CAMPAIGN_ENGINES,
     AtpgConfig,
     CampaignConfig,
     ConfigError,
@@ -28,6 +29,7 @@ from .config import (
 
 __all__ = [
     "AtpgConfig",
+    "CAMPAIGN_ENGINES",
     "CampaignConfig",
     "ConfigError",
     "GeneratorConfig",

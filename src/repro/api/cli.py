@@ -18,7 +18,12 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from .config import CampaignConfig, ConfigError, GeneratorConfig
+from .config import (
+    CAMPAIGN_ENGINES,
+    CampaignConfig,
+    ConfigError,
+    GeneratorConfig,
+)
 from .pipeline import FULL_STAGES, STAGE_ORDER
 from .session import Workbench
 
@@ -67,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--severity", nargs=2, type=float, metavar=("LOW", "HIGH"),
         default=None,
+    )
+    p_camp.add_argument(
+        "--engine", choices=CAMPAIGN_ENGINES, default=None,
+        help="fault-simulation engine (default: factorized)",
+    )
+    p_camp.add_argument(
+        "--campaign-workers", type=int, default=None, metavar="N",
+        help="thread fan-out over faults (factorized engine)",
     )
     p_camp.add_argument("--json", metavar="PATH", default=None)
     _add_generator_options(p_camp)
@@ -149,6 +162,8 @@ def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
         faults_per_element=args.faults_per_element,
         severity_range=None if args.severity is None else tuple(args.severity),
         seed=args.seed,
+        engine=args.engine,
+        max_workers=args.campaign_workers,
     )
     result = wb.campaign(
         args.circuit, campaign=campaign, generator=_generator_config(args)

@@ -25,6 +25,10 @@ __all__ = [
 #: variable-ordering heuristics understood by the BDD compiler.
 BDD_ORDERINGS = ("fanin", "declaration")
 
+#: fault-simulation engines behind the campaign stage (must mirror
+#: ``repro.analog.faultsim.ENGINES``; the test suite cross-checks).
+CAMPAIGN_ENGINES = ("factorized", "reference")
+
 
 class ConfigError(ValueError):
     """A configuration value is out of range or inconsistent."""
@@ -127,11 +131,21 @@ class CampaignConfig(_Replaceable):
         severity_range: severities (multiples of the computed E.D.)
             drawn uniformly from this ``(low, high)`` interval.
         seed: RNG seed, so campaigns are reproducible artifacts.
+        engine: fault-simulation engine — ``"factorized"`` (per-frequency
+            LU reuse + Sherman–Morrison rank-one updates, the default)
+            or ``"reference"`` (full re-solve per fault, the oracle the
+            differential tests check the fast engine against).  Both
+            produce identical seeded outcome lists.
+        max_workers: thread fan-out over faults inside the factorized
+            engine (``None`` = serial; sessions inject their own
+            ``max_workers`` here when unset).
     """
 
     faults_per_element: int = 6
     severity_range: tuple[float, float] = (0.5, 3.0)
     seed: int = 2024
+    engine: str = "factorized"
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -147,6 +161,14 @@ class CampaignConfig(_Replaceable):
         _require(
             0.0 < low <= high,
             f"severity_range must satisfy 0 < low <= high, got {low!r}, {high!r}",
+        )
+        _require(
+            self.engine in CAMPAIGN_ENGINES,
+            f"engine must be one of {CAMPAIGN_ENGINES}, got {self.engine!r}",
+        )
+        _require(
+            self.max_workers is None or self.max_workers >= 1,
+            f"max_workers must be None or >= 1, got {self.max_workers!r}",
         )
 
 

@@ -21,7 +21,11 @@ Stage semantics:
 * ``atpg``        — digital-block stuck-at ATPG under the thermometer
     constraint (plus the stand-alone run when configured);
 * ``campaign``    — seeded fault injection scoring the emitted program
-    (requires ``stimulus``).
+    (requires ``stimulus``); executes on the
+    :mod:`repro.analog.faultsim` engine named by
+    :attr:`repro.api.CampaignConfig.engine` — the factorized
+    LU/Sherman–Morrison fast path by default, the full-solve
+    ``reference`` oracle on request.
 """
 
 from __future__ import annotations

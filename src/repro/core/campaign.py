@@ -9,98 +9,30 @@ program against each faulty circuit, and reports detection rates.
 
 This is the end-to-end figure of merit for the whole method: a recipe
 is only as good as its behaviour on faults it has never seen.
+
+The execution itself is delegated to a :mod:`repro.analog.faultsim`
+engine.  ``engine="factorized"`` (the default) reuses per-frequency LU
+factorizations and Sherman–Morrison rank-one updates; the
+``"reference"`` engine re-assembles and re-solves every faulty system
+and serves as the oracle the differential test suite checks the fast
+engine against.  Both produce identical seeded outcome lists.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 
-from ..analog import parametric
+from ..analog.faultsim import (
+    CampaignResult,
+    InjectionOutcome,
+    draw_faults,
+    get_engine,
+)
 from ..api.config import CampaignConfig
-from ..digital.simulate import simulate
 from .coverage import MixedTestReport
 from .mixed_circuit import MixedSignalCircuit
 
 __all__ = ["InjectionOutcome", "CampaignResult", "run_campaign"]
-
-
-@dataclass
-class InjectionOutcome:
-    """One injected fault and whether the program caught it."""
-
-    element: str
-    deviation: float
-    #: deviation / guaranteed-detectable deviation (>1 = must catch).
-    severity: float
-    detected: bool
-    detecting_target: str | None = None
-
-
-@dataclass
-class CampaignResult:
-    """Aggregate campaign statistics."""
-
-    outcomes: list[InjectionOutcome] = field(default_factory=list)
-
-    @property
-    def n_injected(self) -> int:
-        """Total faults injected."""
-        return len(self.outcomes)
-
-    def detection_rate(self, min_severity: float = 0.0) -> float:
-        """Detected / injected among faults at or above a severity."""
-        eligible = [
-            o for o in self.outcomes if o.severity >= min_severity
-        ]
-        if not eligible:
-            return 1.0
-        return sum(o.detected for o in eligible) / len(eligible)
-
-    @property
-    def guaranteed_detection_rate(self) -> float:
-        """Detection rate over faults beyond their computed E.D.
-
-        The method's promise: this should be 1.0.
-        """
-        return self.detection_rate(min_severity=1.05)
-
-    def summary(self) -> str:
-        """One-paragraph recap."""
-        return (
-            f"{self.n_injected} faults injected; "
-            f"{self.detection_rate():.1%} overall detection, "
-            f"{self.guaranteed_detection_rate:.1%} beyond the computed "
-            f"worst-case deviation"
-        )
-
-
-def _step_detects(
-    mixed: MixedSignalCircuit,
-    test,
-    element: str,
-    deviation: float,
-) -> bool:
-    """Execute one program step against one injected analog fault."""
-    frequency = test.stimulus.frequency_hz
-    amplitude = test.stimulus.amplitude
-    good_code = mixed.converter_code(frequency, amplitude)
-    with mixed.analog.with_deviations({element: deviation}):
-        faulty_code = mixed.converter_code(frequency, amplitude)
-    if faulty_code == good_code:
-        return False
-    assignment_good = dict(test.vector)
-    assignment_faulty = dict(test.vector)
-    for line, good, faulty in zip(
-        mixed.converter_lines, good_code, faulty_code
-    ):
-        assignment_good[line] = good
-        assignment_faulty[line] = faulty
-    good_outputs = simulate(mixed.digital, assignment_good)
-    faulty_outputs = simulate(mixed.digital, assignment_faulty)
-    return any(
-        good_outputs[o] != faulty_outputs[o] for o in mixed.digital.outputs
-    )
 
 
 def run_campaign(
@@ -109,6 +41,7 @@ def run_campaign(
     faults_per_element: int | None = None,
     severity_range: tuple[float, float] | None = None,
     seed: int | None = None,
+    engine: str | None = None,
     config: CampaignConfig | None = None,
 ) -> CampaignResult:
     """Inject seeded analog faults and execute the emitted program.
@@ -116,44 +49,27 @@ def run_campaign(
     For each analog element with a test recipe, ``faults_per_element``
     deviations are drawn with severities (multiples of the element's
     computed E.D.) uniform in ``severity_range``, both directions.  Every
-    program step is tried against every fault — any step may catch it.
+    program step is tried against every fault — any step may catch it —
+    with the step targeting the faulted element tried first.
 
     The canonical configuration is a typed
     :class:`repro.api.CampaignConfig`; the loose keyword arguments are
-    the legacy surface (explicit values override the config).
+    the legacy surface (explicit values override the config).  The
+    ``engine`` selects the :mod:`repro.analog.faultsim` implementation
+    (``"factorized"`` fast path or the ``"reference"`` oracle).
     """
     config = (config if config is not None else CampaignConfig()).with_overrides(
         faults_per_element=faults_per_element,
         severity_range=severity_range,
         seed=seed,
+        engine=engine,
     )
-    faults_per_element = config.faults_per_element
-    severity_range = config.severity_range
     rng = random.Random(config.seed)
     testable = [t for t in report.analog_tests if t.testable]
-    result = CampaignResult()
-    for test in testable:
-        ed = test.ed_percent / 100.0
-        for _ in range(faults_per_element):
-            severity = rng.uniform(*severity_range)
-            direction = rng.choice((+1.0, -1.0))
-            deviation = direction * severity * ed
-            if deviation <= -0.95:
-                deviation = -0.95  # keep element values positive
-            detected = False
-            detecting = None
-            for step in testable:
-                if _step_detects(mixed, step, test.element, deviation):
-                    detected = True
-                    detecting = step.element
-                    break
-            result.outcomes.append(
-                InjectionOutcome(
-                    element=test.element,
-                    deviation=deviation,
-                    severity=severity,
-                    detected=detected,
-                    detecting_target=detecting,
-                )
-            )
-    return result
+    faults = draw_faults(
+        testable, config.faults_per_element, config.severity_range, rng
+    )
+    outcomes = get_engine(config.engine).run(
+        mixed, testable, faults, max_workers=config.max_workers
+    )
+    return CampaignResult(outcomes=outcomes)

@@ -14,7 +14,7 @@ from .components import (
     VoltageSource,
 )
 from .netlist import GROUND, AnalogCircuit, AnalogError
-from .mna import MnaSolver, Solution
+from .mna import FactorizedMna, MnaSolver, Solution
 from .ac import FrequencyResponse, log_frequencies, sweep, transfer
 from .measure import (
     bandwidth,
@@ -43,6 +43,7 @@ __all__ = [
     "AnalogError",
     "GROUND",
     "MnaSolver",
+    "FactorizedMna",
     "Solution",
     "FrequencyResponse",
     "transfer",

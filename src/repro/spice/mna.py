@@ -6,6 +6,22 @@ the complex MNA matrix at the requested frequency using the circuit's
 LAPACK via numpy.  Singular systems (floating nodes, contradictory
 sources) raise :class:`repro.spice.netlist.AnalogError` with the node map
 attached to keep debugging sane.
+
+For repeated solves of the *same* system — frequency sweeps, and above
+all fault-injection campaigns that perturb one element at a time —
+:meth:`MnaSolver.factorized` returns a :class:`FactorizedMna` holding the
+LU factorization of the assembled matrix.  The factorization serves
+
+* plain re-solves at no assembly cost (:meth:`FactorizedMna.solution`),
+* :meth:`FactorizedMna.solve_deviation`: the solution of the circuit
+  with a *single element deviated*, via a Sherman–Morrison rank-one
+  update (a one-element deviation perturbs only that element's stamp,
+  which for every value-carrying component is a rank-one patch of the
+  matrix), falling back to a dense solve of the patched matrix whenever
+  the perturbation is not rank one or the update is ill-conditioned.
+
+:meth:`MnaSolver.solve_batch` reuses one factorization per distinct
+(frequency, deviation-state) pair across a whole batch of solves.
 """
 
 from __future__ import annotations
@@ -14,11 +30,12 @@ import cmath
 import math
 
 import numpy as np
+from scipy.linalg import lu_factor, lu_solve
 
 from .components import StampContext
 from .netlist import GROUND, AnalogCircuit, AnalogError
 
-__all__ = ["MnaSolver", "Solution"]
+__all__ = ["MnaSolver", "FactorizedMna", "Solution"]
 
 
 class Solution:
@@ -126,9 +143,12 @@ class MnaSolver:
         self._node_index = {
             node: index for index, node in enumerate(circuit.nodes())
         }
+        self._factorizations: dict[tuple, "FactorizedMna"] = {}
 
-    def solve(self, frequency_hz: float) -> Solution:
-        """Solve at one frequency; ``0.0`` selects the DC system."""
+    def _assemble(
+        self, frequency_hz: float
+    ) -> tuple[np.ndarray, np.ndarray, _Assembler, complex]:
+        """Assemble the dense MNA system at one frequency."""
         s = 2j * math.pi * frequency_hz if frequency_hz else 0.0
         assembler = _Assembler(self._node_index)
         for component in self.circuit.components:
@@ -149,6 +169,24 @@ class MnaSolver:
         rhs = np.zeros(size, dtype=complex)
         for row, value in assembler.rhs_entries:
             rhs[row] += value
+        return matrix, rhs, assembler, s
+
+    def _solution(
+        self, vector: np.ndarray, branch_rows: dict[str, int], frequency_hz: float
+    ) -> Solution:
+        """Wrap a solved unknown vector into a :class:`Solution`."""
+        voltages = {
+            node: complex(vector[index])
+            for node, index in self._node_index.items()
+        }
+        currents = {
+            tag: complex(vector[row]) for tag, row in branch_rows.items()
+        }
+        return Solution(voltages, currents, frequency_hz)
+
+    def solve(self, frequency_hz: float) -> Solution:
+        """Solve at one frequency; ``0.0`` selects the DC system."""
+        matrix, rhs, assembler, _ = self._assemble(frequency_hz)
         try:
             solution = np.linalg.solve(matrix, rhs)
         except np.linalg.LinAlgError as exc:
@@ -156,16 +194,375 @@ class MnaSolver:
                 f"singular MNA system for {self.circuit.name!r} at "
                 f"{frequency_hz} Hz: {exc}"
             ) from exc
-        voltages = {
-            node: complex(solution[index])
-            for node, index in self._node_index.items()
-        }
-        currents = {
-            tag: complex(solution[row])
-            for tag, row in assembler.branch_rows.items()
-        }
-        return Solution(voltages, currents, frequency_hz)
+        return self._solution(solution, assembler.branch_rows, frequency_hz)
 
     def solve_dc(self) -> Solution:
         """Convenience alias for ``solve(0.0)``."""
         return self.solve(0.0)
+
+    # ------------------------------------------------------------------
+    # Factorization reuse
+    # ------------------------------------------------------------------
+    def _factorization_key(self, frequency_hz: float) -> tuple:
+        # The assembled matrix depends on the frequency and on the
+        # circuit's current deviation state; key on both so a cached
+        # factorization is never served for a different system.
+        return (
+            frequency_hz,
+            tuple(sorted(self.circuit.deviations().items())),
+        )
+
+    #: retained factorizations; beyond this the least-recently-used one
+    #: is dropped (a deviation sweep would otherwise grow one dense
+    #: matrix + LU per swept value, unbounded).
+    FACTOR_CACHE_MAX = 64
+
+    def factorized(self, frequency_hz: float) -> "FactorizedMna":
+        """An LU factorization of the system at one frequency, cached.
+
+        The factorization is keyed on ``(frequency, deviation state)``;
+        repeated calls under the same circuit state return the same
+        object, so sweeps and campaigns pay assembly + LU exactly once
+        per distinct system.  The cache holds at most
+        :attr:`FACTOR_CACHE_MAX` systems (LRU).
+        """
+        key = self._factorization_key(frequency_hz)
+        cached = self._factorizations.pop(key, None)
+        if cached is None:
+            cached = FactorizedMna(self, frequency_hz)
+        self._factorizations[key] = cached  # re-insert = most recent
+        while len(self._factorizations) > self.FACTOR_CACHE_MAX:
+            self._factorizations.pop(next(iter(self._factorizations)))
+        return cached
+
+    def solve_batch(self, frequencies_hz) -> list[Solution]:
+        """Solve at many frequencies, reusing one LU per distinct system.
+
+        Equivalent to ``[solver.solve(f) for f in frequencies_hz]`` but
+        repeated frequencies hit the factorization cache instead of
+        re-assembling and re-factoring.
+        """
+        return [self.factorized(f).solution() for f in frequencies_hz]
+
+    def clear_factorizations(self) -> None:
+        """Drop every cached factorization (e.g. after editing values)."""
+        self._factorizations.clear()
+
+
+class _DeltaAssembler(StampContext):
+    """Stamp collector for the *difference* of two component stampings.
+
+    Shares the node map and the branch rows of the original assembly, so
+    the collected entries address the factorized matrix directly.  Used
+    by :meth:`FactorizedMna.solve_deviation` with ``sign = -1`` for the
+    baseline stamp and ``sign = +1`` for the deviated stamp.
+    """
+
+    def __init__(self, node_index: dict[str, int], branch_rows: dict[str, int]):
+        self._node_index = node_index
+        self._branch_rows = branch_rows
+        self.sign = 1.0
+        self.entries: dict[tuple[int, int], complex] = {}
+        self.rhs_touched = False
+
+    def index(self, node: str) -> int | None:
+        if node == GROUND:
+            return None
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise AnalogError(f"unknown node {node!r}") from None
+
+    def branch(self, tag: str) -> int:
+        try:
+            return self._branch_rows[tag]
+        except KeyError:
+            raise AnalogError(
+                f"component {tag!r} allocated no branch in the factorized "
+                "system; re-factorize instead of patching"
+            ) from None
+
+    def add(self, row: int | None, col: int | None, value: complex) -> None:
+        if row is None or col is None:
+            return
+        key = (row, col)
+        self.entries[key] = self.entries.get(key, 0.0) + self.sign * value
+
+    def rhs(self, row: int | None, value: complex) -> None:
+        if row is None:
+            return
+        # Value-carrying components never stamp the right-hand side; a
+        # component that does cannot be patched with a matrix-only
+        # update, so flag it and let the caller fall back.
+        self.rhs_touched = True
+
+
+class FactorizedMna:
+    """One assembled-and-LU-factored MNA system, reusable across solves.
+
+    Captures the circuit state (frequency, element values, deviations) at
+    construction time; later mutations of the circuit are *not* seen by
+    this object — ask :meth:`MnaSolver.factorized` again instead.
+    """
+
+    #: singular values below ``RANK_TOL · σ₁`` are treated as zero when
+    #: deciding whether a stamp perturbation is rank one.
+    RANK_TOL = 1e-12
+
+    def __init__(self, solver: MnaSolver, frequency_hz: float):
+        self.solver = solver
+        self.frequency_hz = frequency_hz
+        matrix, rhs, assembler, s = solver._assemble(frequency_hz)
+        self._matrix = matrix
+        self._rhs = rhs
+        self._s = s
+        self._branch_rows = assembler.branch_rows
+        self._size = matrix.shape[0]
+        self._lu = lu_factor(matrix, check_finite=False)
+        diagonal = np.abs(np.diagonal(self._lu[0]))
+        if not np.all(np.isfinite(diagonal)) or diagonal.min() == 0.0:
+            raise AnalogError(
+                f"singular MNA system for {solver.circuit.name!r} at "
+                f"{frequency_hz} Hz: zero pivot in LU factorization"
+            )
+        self._base = lu_solve(self._lu, rhs, check_finite=False)
+        self._base_solution = solver._solution(
+            self._base, self._branch_rows, frequency_hz
+        )
+        # Effective element values the matrix was assembled with; the
+        # reference point for every rank-one deviation patch.
+        self._base_values = {
+            name: solver.circuit.effective_value(name)
+            for name in solver.circuit.element_names()
+        }
+        # y = A⁻¹·u per value-independent update direction u — computing
+        # it is the only triangular solve a rank-one update needs, and
+        # every deviation of the same element reuses the same direction.
+        self._ys: dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def solution(self) -> Solution:
+        """The baseline (as-assembled) solution — two triangular solves
+        already paid; this is a constant-time accessor."""
+        return self._base_solution
+
+    def solve_rhs(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A·x = rhs`` against the cached factorization."""
+        return lu_solve(self._lu, rhs, check_finite=False)
+
+    # ------------------------------------------------------------------
+    def _stamp_delta(
+        self, element: str, deviation: float
+    ) -> tuple[dict[tuple[int, int], complex], bool] | None:
+        """The matrix perturbation of deviating one element.
+
+        Returns ``(entries, rhs_touched)``, or ``None`` when the deviated
+        stamp equals the baseline stamp (e.g. a capacitor at DC).
+        """
+        circuit = self.solver.circuit
+        component = circuit.component(element)
+        if not component.has_value:
+            raise AnalogError(
+                f"component {element!r} carries no value to deviate"
+            )
+        base_value = self._base_values[element]
+        new_value = circuit.nominal_value(element) * (1.0 + deviation)
+        delta = _DeltaAssembler(self.solver._node_index, self._branch_rows)
+        delta.sign = -1.0
+        component.stamp(delta, self._s, base_value)
+        delta.sign = +1.0
+        component.stamp(delta, self._s, new_value)
+        entries = {
+            key: value for key, value in delta.entries.items() if value != 0.0
+        }
+        if not entries and not delta.rhs_touched:
+            return None
+        return entries, delta.rhs_touched
+
+    def _dense_patched_solve(
+        self, entries: dict[tuple[int, int], complex]
+    ) -> np.ndarray:
+        """Fallback: solve the explicitly patched matrix from scratch."""
+        matrix = self._matrix.copy()
+        for (row, col), value in entries.items():
+            matrix[row, col] += value
+        try:
+            return np.linalg.solve(matrix, self._rhs)
+        except np.linalg.LinAlgError as exc:
+            raise AnalogError(
+                f"singular deviated MNA system for "
+                f"{self.solver.circuit.name!r} at {self.frequency_hz} Hz: "
+                f"{exc}"
+            ) from exc
+
+    def _factor_delta(
+        self, entries: dict[tuple[int, int], complex]
+    ) -> tuple[tuple | None, list[int], list[complex], list[int], list[complex]] | None:
+        """Factor a stamp delta as an outer product ``ΔA = u·wᵀ``.
+
+        Returns ``(u_key, u_rows, u_vals, w_cols, w_vals)`` with sparse
+        ``u``/``w`` representations; ``u_key`` is a hashable cache key
+        for ``y = A⁻¹·u`` when the direction ``u`` does not depend on
+        the deviated value (single-row patches and ±admittance
+        patterns), else ``None``.  Returns ``None`` when the delta is
+        not recognizably rank one (caller decides via SVD).
+        """
+        rows = sorted({row for row, _ in entries})
+        cols = sorted({col for _, col in entries})
+        if len(rows) == 1:
+            # One matrix row changes (VCVS gain, op-amp gain, L value):
+            # ΔA = e_r · (delta row)ᵀ with a fixed direction e_r.
+            row = rows[0]
+            return (
+                ("row", row),
+                [row],
+                [1.0 + 0.0j],
+                cols,
+                [entries[(row, col)] for col in cols],
+            )
+        if len(cols) == 1:
+            # One column changes: u carries the (value-dependent)
+            # entries, w is the fixed indicator of that column.
+            col = cols[0]
+            return (
+                None,
+                rows,
+                [entries[(row, col)] for row in rows],
+                [col],
+                [1.0 + 0.0j],
+            )
+        if len(rows) == 2 and len(cols) == 2:
+            # The two-terminal admittance / VCCS pattern
+            # Δy·[[+1,−1],[−1,+1]]: u = e_i − e_j is value independent.
+            corner = entries.get((rows[0], cols[0]), 0.0)
+            if (
+                corner != 0.0
+                and entries.get((rows[0], cols[1]), 0.0) == -corner
+                and entries.get((rows[1], cols[0]), 0.0) == -corner
+                and entries.get((rows[1], cols[1]), 0.0) == corner
+            ):
+                return (
+                    ("diff", rows[0], rows[1]),
+                    rows,
+                    [1.0 + 0.0j, -1.0 + 0.0j],
+                    cols,
+                    [corner, -corner],
+                )
+        return None
+
+    def _factor_delta_svd(
+        self, entries: dict[tuple[int, int], complex]
+    ) -> tuple[None, list[int], list[complex], list[int], list[complex]] | None:
+        """SVD fallback of :meth:`_factor_delta` for unrecognized shapes;
+        ``None`` when the delta is genuinely not rank one."""
+        rows = sorted({row for row, _ in entries})
+        cols = sorted({col for _, col in entries})
+        block = np.zeros((len(rows), len(cols)), dtype=complex)
+        row_pos = {row: i for i, row in enumerate(rows)}
+        col_pos = {col: j for j, col in enumerate(cols)}
+        for (row, col), value in entries.items():
+            block[row_pos[row], col_pos[col]] = value
+        u_left, singulars, v_right = np.linalg.svd(block)
+        if singulars.size > 1 and singulars[1] > self.RANK_TOL * singulars[0]:
+            return None
+        return (
+            None,
+            rows,
+            list(u_left[:, 0] * singulars[0]),
+            cols,
+            list(v_right[0, :]),
+        )
+
+    def _deviation_update(
+        self, element: str, deviation: float
+    ) -> tuple[np.ndarray, complex] | dict | None:
+        """The Sherman–Morrison terms for one deviated element.
+
+        Returns ``(y, scale)`` such that the deviated solution is
+        ``x₀ − y·scale``; ``None`` when the deviated system equals the
+        baseline; or the raw delta-entry dict when the update must go
+        through a dense patched solve (non-rank-one or ill-conditioned).
+        """
+        delta = self._stamp_delta(element, deviation)
+        if delta is None:
+            return None
+        entries, rhs_touched = delta
+        if rhs_touched:
+            # The component re-stamped the RHS; a matrix-only update
+            # cannot represent that.  (Unreachable for built-in
+            # components — sources carry no value.)
+            raise AnalogError(
+                f"component {element!r} stamps the right-hand side; "
+                "cannot patch the factorized system"
+            )
+        factors = self._factor_delta(entries)
+        if factors is None:
+            factors = self._factor_delta_svd(entries)
+            if factors is None:
+                return entries  # genuinely rank ≥ 2: dense fallback
+        u_key, u_rows, u_vals, w_cols, w_vals = factors
+        y = self._ys.get(u_key) if u_key is not None else None
+        if y is None:
+            u = np.zeros(self._size, dtype=complex)
+            u[u_rows] = u_vals
+            y = lu_solve(self._lu, u, check_finite=False)
+            if u_key is not None:
+                self._ys[u_key] = y
+        w_dot_y = sum(w * y[c] for c, w in zip(w_cols, w_vals))
+        denominator = 1.0 + w_dot_y
+        if abs(denominator) < 1e-14:
+            # The update drives the system (near-)singular; the dense
+            # path raises a clean AnalogError if it truly is.
+            return entries
+        w_dot_x = sum(w * self._base[c] for c, w in zip(w_cols, w_vals))
+        return y, w_dot_x / denominator
+
+    def solve_deviation(self, element: str, deviation: float) -> Solution:
+        """Solution with one element deviated, via Sherman–Morrison.
+
+        ``deviation`` is relative to the element's *nominal* value (the
+        :meth:`repro.spice.AnalogCircuit.set_deviation` convention).  A
+        single-element deviation perturbs only that element's stamp —
+        ``ΔA = u·wᵀ`` for every value-carrying component — so
+
+            (A + u·wᵀ)⁻¹·b  =  x₀ − y · (wᵀ·x₀) / (1 + wᵀ·y)
+
+        with ``x₀ = A⁻¹·b`` already cached and ``y = A⁻¹·u`` cached per
+        update direction (one triangular solve the first time an element
+        is deviated at this frequency, scalar work afterwards).
+        Perturbations that are not rank one (no current component type
+        produces any) and ill-conditioned updates fall back to a dense
+        solve of the patched matrix.  The circuit is never mutated.
+        """
+        update = self._deviation_update(element, deviation)
+        if update is None:
+            return self._base_solution
+        if isinstance(update, dict):
+            vector = self._dense_patched_solve(update)
+        else:
+            y, scale = update
+            vector = self._base - y * scale
+        return self.solver._solution(
+            vector, self._branch_rows, self.frequency_hz
+        )
+
+    def deviated_voltage(
+        self, element: str, deviation: float, node: str
+    ) -> complex:
+        """One node's voltage with one element deviated — the campaign
+        hot path.  Same update as :meth:`solve_deviation`, but only the
+        observed entry of the solution vector is formed: after the per-
+        element triangular solve is cached this is O(1) per fault."""
+        if node == GROUND:
+            return 0.0 + 0.0j
+        try:
+            index = self.solver._node_index[node]
+        except KeyError:
+            raise AnalogError(f"no node named {node!r} in solution") from None
+        update = self._deviation_update(element, deviation)
+        if update is None:
+            return complex(self._base[index])
+        if isinstance(update, dict):
+            return complex(self._dense_patched_solve(update)[index])
+        y, scale = update
+        return complex(self._base[index] - y[index] * scale)

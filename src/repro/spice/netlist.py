@@ -219,9 +219,18 @@ class _DeviationScope:
         self._saved: dict[str, float] = {}
 
     def __enter__(self) -> AnalogCircuit:
-        for name, deviation in self._incoming.items():
-            self._saved[name] = self._circuit._deviations.get(name, 0.0)
-            self._circuit.set_deviation(name, deviation)
+        try:
+            for name, deviation in self._incoming.items():
+                previous = self._circuit._deviations.get(name, 0.0)
+                self._circuit.set_deviation(name, deviation)
+                # Recorded only after success: a failed application must
+                # not be "restored" (the name may not even exist).
+                self._saved[name] = previous
+        except BaseException:
+            # __exit__ never runs when __enter__ raises, so the already-
+            # applied part must be rolled back here.
+            self.__exit__()
+            raise
         return self._circuit
 
     def __exit__(self, *exc_info) -> None:

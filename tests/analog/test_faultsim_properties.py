@@ -1,0 +1,181 @@
+"""Property-based checks of the factorized fault-simulation substrate.
+
+Seeded :class:`random.Random` generators (no extra dependencies) build
+randomized ladder netlists and deviation draws, and assert the two
+load-bearing invariants of the fast campaign engine:
+
+* a Sherman–Morrison rank-one update of the factorized system equals a
+  full re-assembled dense solve of the deviated circuit;
+* ``with_deviations`` always restores nominal element values — on clean
+  exits, on solver failures inside the scope, and on failures while the
+  deviations are still being applied.
+"""
+
+import random
+
+import pytest
+
+from repro.analog.faultsim import _UnitSource
+from repro.spice import AnalogCircuit, AnalogError, MnaSolver
+
+
+def random_ladder(rng: random.Random, stages: int) -> tuple[AnalogCircuit, str]:
+    """A solvable random RLC ladder driven by a unit source."""
+    circuit = AnalogCircuit(f"ladder-{stages}-{rng.randrange(1 << 30)}")
+    circuit.vsource("Vin", "n0", "0", dc=1.0, ac=1.0)
+    previous = "n0"
+    for index in range(stages):
+        node = f"n{index + 1}"
+        circuit.resistor(
+            f"Rs{index}", previous, node, 10.0 ** rng.uniform(2.0, 5.0)
+        )
+        if rng.random() < 0.8:
+            circuit.capacitor(
+                f"C{index}", node, "0", 10.0 ** rng.uniform(-9.0, -7.0)
+            )
+        if rng.random() < 0.5:
+            circuit.resistor(
+                f"Rp{index}", node, "0", 10.0 ** rng.uniform(3.0, 6.0)
+            )
+        if rng.random() < 0.3:
+            circuit.inductor(
+                f"L{index}", node, "0", 10.0 ** rng.uniform(-3.0, -1.0)
+            )
+        previous = node
+    return circuit, previous
+
+
+def test_engine_registry_matches_config():
+    # api.config cannot import the engine registry (configs are plain
+    # data); this pins the two name lists to each other instead.
+    from repro.analog.faultsim import ENGINES
+    from repro.api.config import CAMPAIGN_ENGINES
+
+    assert set(CAMPAIGN_ENGINES) == set(ENGINES)
+
+
+class TestRankOneUpdateProperty:
+    def test_rank_one_update_equals_reassembled_solve(self):
+        rng = random.Random(20260730)
+        for _ in range(12):
+            circuit, _ = random_ladder(rng, stages=rng.randint(2, 5))
+            solver = MnaSolver(circuit)
+            elements = circuit.element_names()
+            for _ in range(4):
+                frequency = rng.choice(
+                    [0.0, 10.0 ** rng.uniform(0.0, 6.0)]
+                )
+                element = rng.choice(elements)
+                deviation = rng.choice((-1.0, 1.0)) * rng.uniform(0.01, 0.9)
+                factorized = solver.factorized(frequency)
+                fast = factorized.solve_deviation(element, deviation)
+                with circuit.with_deviations({element: deviation}):
+                    full = MnaSolver(circuit).solve(frequency)
+                for node in full.nodes():
+                    assert fast.voltage(node) == pytest.approx(
+                        full.voltage(node), rel=1e-9, abs=1e-9
+                    )
+
+    def test_solve_batch_matches_individual_solves(self):
+        rng = random.Random(7)
+        circuit, _ = random_ladder(rng, stages=3)
+        solver = MnaSolver(circuit)
+        frequencies = [0.0, 1e3, 1e3, 5e4, 1e3]
+        batch = solver.solve_batch(frequencies)
+        for frequency, solution in zip(frequencies, batch):
+            fresh = MnaSolver(circuit).solve(frequency)
+            for node in fresh.nodes():
+                assert solution.voltage(node) == pytest.approx(
+                    fresh.voltage(node), rel=1e-12, abs=1e-12
+                )
+
+    def test_factorization_cache_tracks_deviation_state(self):
+        # A cached LU must never be served for a different circuit
+        # state: deviating an element re-keys the factorization.
+        rng = random.Random(3)
+        circuit, output = random_ladder(rng, stages=3)
+        solver = MnaSolver(circuit)
+        nominal = solver.factorized(1e3).solution().voltage(output)
+        circuit.set_deviation("Rs0", 0.5)
+        deviated = solver.factorized(1e3).solution().voltage(output)
+        fresh = MnaSolver(circuit).solve(1e3).voltage(output)
+        circuit.clear_deviations()
+        assert deviated == pytest.approx(fresh, rel=1e-12)
+        assert deviated != nominal
+        assert solver.factorized(1e3).solution().voltage(output) == nominal
+
+    def test_zero_deviation_returns_baseline(self):
+        rng = random.Random(5)
+        circuit, output = random_ladder(rng, stages=2)
+        factorized = MnaSolver(circuit).factorized(1e3)
+        assert factorized.solve_deviation(
+            "Rs0", 0.0
+        ).voltage(output) == factorized.solution().voltage(output)
+
+
+class TestDeviationScopeRestoration:
+    def _random_deviations(self, rng, circuit):
+        elements = circuit.element_names()
+        chosen = rng.sample(elements, k=min(3, len(elements)))
+        return {
+            name: rng.choice((-1.0, 1.0)) * rng.uniform(0.05, 0.9)
+            for name in chosen
+        }
+
+    def test_restores_on_clean_exit(self):
+        rng = random.Random(11)
+        for _ in range(8):
+            circuit, _ = random_ladder(rng, stages=rng.randint(2, 4))
+            before = circuit.deviations()
+            with circuit.with_deviations(self._random_deviations(rng, circuit)):
+                pass
+            assert circuit.deviations() == before
+
+    def test_restores_on_failure_inside_scope(self):
+        # The campaign's failure mode: a solve blows up mid-scope.
+        rng = random.Random(13)
+        for _ in range(8):
+            circuit, _ = random_ladder(rng, stages=rng.randint(2, 4))
+            deviations = self._random_deviations(rng, circuit)
+            with pytest.raises(AnalogError):
+                with circuit.with_deviations(deviations):
+                    assert circuit.deviations() == deviations
+                    raise AnalogError("solver failed")
+            assert circuit.deviations() == {}
+
+    def test_restores_on_partial_application_failure(self):
+        # __enter__ itself fails halfway (unknown element, or a
+        # deviation that would drive a value non-positive): nothing
+        # may leak.
+        rng = random.Random(17)
+        circuit, _ = random_ladder(rng, stages=3)
+        with pytest.raises(AnalogError):
+            with circuit.with_deviations({"Rs0": 0.4, "NOPE": 0.1}):
+                pass  # pragma: no cover - never entered
+        assert circuit.deviations() == {}
+        with pytest.raises(AnalogError):
+            with circuit.with_deviations({"Rs0": 0.4, "Rs1": -1.5}):
+                pass  # pragma: no cover - never entered
+        assert circuit.deviations() == {}
+
+    def test_restores_preexisting_deviation(self):
+        rng = random.Random(19)
+        circuit, _ = random_ladder(rng, stages=3)
+        circuit.set_deviation("Rs0", 0.25)
+        with circuit.with_deviations({"Rs0": -0.5, "Rs1": 0.1}):
+            assert circuit.deviations()["Rs0"] == -0.5
+        assert circuit.deviations() == {"Rs0": 0.25}
+        circuit.clear_deviations()
+
+    def test_unit_source_restores_on_failure(self):
+        # The factorized engine drives the source at unit amplitude for
+        # its whole run; a mid-campaign failure must restore the levels.
+        rng = random.Random(23)
+        circuit, _ = random_ladder(rng, stages=2)
+        source = circuit.component("Vin")
+        source.ac, source.dc = 0.7, 2.5
+        with pytest.raises(AnalogError):
+            with _UnitSource(circuit, "Vin"):
+                assert (source.ac, source.dc) == (1.0, 1.0)
+                raise AnalogError("solver failed")
+        assert (source.ac, source.dc) == (0.7, 2.5)
