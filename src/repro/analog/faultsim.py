@@ -33,7 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..digital.simulate import simulate
-from ..spice import AnalogError, MnaSolver, VoltageSource
+from ..spice import AnalogError, MnaSolver, UnitSource
 
 __all__ = [
     "InjectionOutcome",
@@ -66,6 +66,12 @@ class CampaignResult:
     """Aggregate campaign statistics."""
 
     outcomes: list[InjectionOutcome] = field(default_factory=list)
+    #: engine/backend diagnostics of the run that produced the outcomes
+    #: (cache hit/miss counters etc.); ``None`` for deserialized
+    #: results.  Excluded from artifact documents *and* from equality —
+    #: two campaigns with identical outcomes compare equal regardless
+    #: of which engine/backend produced them.
+    diagnostics: dict | None = field(default=None, compare=False)
 
     @property
     def n_injected(self) -> int:
@@ -147,29 +153,8 @@ def step_order(steps: Sequence, element: str) -> list[int]:
     return own + rest
 
 
-class _UnitSource:
-    """Temporarily drive the analog source at unit amplitude.
-
-    Mirrors :func:`repro.spice.ac.transfer`: with the source at 1 V the
-    output phasor *is* the transfer value, for the AC (``ac``) and DC
-    (``dc``) systems alike.  Restores the original levels on exit, even
-    when a solve fails mid-campaign.
-    """
-
-    def __init__(self, circuit, source_name: str):
-        source = circuit.component(source_name)
-        if not isinstance(source, VoltageSource):
-            raise AnalogError(f"{source_name!r} is not a voltage source")
-        self._source = source
-        self._saved: tuple[float, float] | None = None
-
-    def __enter__(self) -> VoltageSource:
-        self._saved = (self._source.ac, self._source.dc)
-        self._source.ac, self._source.dc = 1.0, 1.0
-        return self._source
-
-    def __exit__(self, *exc_info) -> None:
-        self._source.ac, self._source.dc = self._saved
+#: unit-amplitude source scope, shared with :mod:`repro.spice.ac`.
+_UnitSource = UnitSource
 
 
 def _convert(thresholds: tuple[float, ...], v_in: float) -> tuple[int, ...]:
@@ -188,9 +173,20 @@ class CampaignEngine:
     entries (each carries a stimulus and a digital vector); ``mixed`` is
     the circuit under test.  Returns one :class:`InjectionOutcome` per
     fault, in fault order.
+
+    ``backend`` names the :mod:`repro.spice.backends` linear-system
+    backend the engine's analog solves go through; ``factor_cache_size``
+    bounds the engine's factorization LRU.  After :meth:`run` returns,
+    :attr:`last_diagnostics` describes what actually ran (backend name,
+    cache hit/miss counters) — use :func:`get_engine` to obtain a fresh
+    instance per campaign so concurrent campaigns never share it.
     """
 
     name = "abstract"
+
+    def __init__(self) -> None:
+        #: diagnostics of the most recent :meth:`run` (or ``None``).
+        self.last_diagnostics: dict | None = None
 
     def run(
         self,
@@ -198,6 +194,8 @@ class CampaignEngine:
         steps: Sequence,
         faults: Sequence[FaultSpec],
         max_workers: int | None = None,
+        backend: str = "auto",
+        factor_cache_size: int | None = None,
     ) -> list[InjectionOutcome]:
         raise NotImplementedError
 
@@ -218,7 +216,13 @@ class ReferenceEngine(CampaignEngine):
         steps: Sequence,
         faults: Sequence[FaultSpec],
         max_workers: int | None = None,
+        backend: str = "auto",
+        factor_cache_size: int | None = None,
     ) -> list[InjectionOutcome]:
+        # The oracle deliberately ignores the backend selector: its
+        # whole point is the unoptimized dense re-solve path the fast
+        # engine is checked against.
+        self.last_diagnostics = {"engine": self.name, "backend": "dense"}
         # Good-circuit codes are fault independent: compute once per
         # step, not once per (fault, step) pair.
         good_codes = [
@@ -290,8 +294,11 @@ class FactorizedEngine(CampaignEngine):
         steps: Sequence,
         faults: Sequence[FaultSpec],
         max_workers: int | None = None,
+        backend: str = "auto",
+        factor_cache_size: int | None = None,
     ) -> list[InjectionOutcome]:
         if not faults:
+            self.last_diagnostics = {"engine": self.name, "backend": None}
             return []
         circuit = mixed.analog
         output = mixed.analog_output
@@ -299,7 +306,11 @@ class FactorizedEngine(CampaignEngine):
         converter_lines = tuple(mixed.converter_lines)
         thresholds = tuple(mixed.adc.thresholds())
         with _UnitSource(circuit, mixed.analog_source):
-            solver = MnaSolver(circuit)
+            solver = MnaSolver(
+                circuit,
+                backend=backend,
+                factor_cache_size=factor_cache_size,
+            )
             # One LU per distinct stimulus frequency, shared by every
             # fault; built serially before any fan-out.
             factorized = {}
@@ -383,6 +394,10 @@ class FactorizedEngine(CampaignEngine):
                     verdicts = list(pool.map(evaluate, faults))
             else:
                 verdicts = [evaluate(fault) for fault in faults]
+        self.last_diagnostics = {
+            "engine": self.name,
+            **solver.cache_stats(),
+        }
         return [
             InjectionOutcome(
                 element=fault.element,
@@ -404,9 +419,15 @@ ENGINES: dict[str, CampaignEngine] = {
 
 
 def get_engine(name: str) -> CampaignEngine:
-    """Look up a campaign engine by name."""
+    """A *fresh* campaign engine instance by name.
+
+    Fresh per call so the per-run :attr:`CampaignEngine.
+    last_diagnostics` never races between concurrent campaigns; the
+    :data:`ENGINES` table keeps one canonical instance per name for
+    introspection.
+    """
     try:
-        return ENGINES[name]
+        return type(ENGINES[name])()
     except KeyError:
         raise AnalogError(
             f"unknown fault-simulation engine {name!r}; "

@@ -19,6 +19,7 @@ everything else loads on first attribute access.
 
 from .config import (
     CAMPAIGN_ENGINES,
+    SIM_BACKENDS,
     AtpgConfig,
     CampaignConfig,
     ConfigError,
@@ -30,6 +31,7 @@ from .config import (
 __all__ = [
     "AtpgConfig",
     "CAMPAIGN_ENGINES",
+    "SIM_BACKENDS",
     "CampaignConfig",
     "ConfigError",
     "GeneratorConfig",

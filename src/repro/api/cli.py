@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 from .config import (
     CAMPAIGN_ENGINES,
+    SIM_BACKENDS,
     CampaignConfig,
     ConfigError,
     GeneratorConfig,
@@ -81,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--campaign-workers", type=int, default=None, metavar="N",
         help="thread fan-out over faults (factorized engine)",
     )
+    p_camp.add_argument(
+        "--factor-cache-size", type=int, default=None, metavar="N",
+        help="LRU bound on retained LU factorizations",
+    )
     p_camp.add_argument("--json", metavar="PATH", default=None)
     _add_generator_options(p_camp)
 
@@ -103,6 +108,11 @@ def _add_generator_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--tolerance", type=float, default=None)
     parser.add_argument("--element-tolerance", type=float, default=None)
     parser.add_argument("--comparator-budget", type=int, default=None)
+    parser.add_argument(
+        "--backend", choices=SIM_BACKENDS, default=None,
+        help="linear-system backend for analog solves "
+        "(auto picks sparse above the node-count threshold)",
+    )
     parser.add_argument(
         "--no-digital", action="store_true",
         help="skip the digital ATPG stage",
@@ -144,8 +154,16 @@ def _cmd_list(wb: Workbench, args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(wb: Workbench, args: argparse.Namespace) -> int:
+    campaign = (
+        CampaignConfig().with_overrides(backend=args.backend)
+        if args.backend is not None
+        else None
+    )
     result = wb.generate(
-        args.circuit, stages=_stages(args), generator=_generator_config(args)
+        args.circuit,
+        stages=_stages(args),
+        generator=_generator_config(args),
+        campaign=campaign,
     )
     print(result.summary())
     if args.json:
@@ -164,6 +182,8 @@ def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         max_workers=args.campaign_workers,
+        backend=args.backend,
+        factor_cache_size=args.factor_cache_size,
     )
     result = wb.campaign(
         args.circuit, campaign=campaign, generator=_generator_config(args)

@@ -29,6 +29,11 @@ BDD_ORDERINGS = ("fanin", "declaration")
 #: ``repro.analog.faultsim.ENGINES``; the test suite cross-checks).
 CAMPAIGN_ENGINES = ("factorized", "reference")
 
+#: linear-system backends behind the simulation layer (must mirror
+#: ``repro.spice.backends.BACKEND_NAMES``; the test suite cross-checks).
+#: ``"auto"`` picks sparse at/above the node-count threshold.
+SIM_BACKENDS = ("auto", "dense", "sparse")
+
 
 class ConfigError(ValueError):
     """A configuration value is out of range or inconsistent."""
@@ -139,6 +144,13 @@ class CampaignConfig(_Replaceable):
         max_workers: thread fan-out over faults inside the factorized
             engine (``None`` = serial; sessions inject their own
             ``max_workers`` here when unset).
+        backend: linear-system backend for the campaign's analog solves
+            — ``"auto"`` (sparse at/above the node-count threshold,
+            dense below), ``"dense"`` or ``"sparse"``.  Sessions inject
+            their own ``backend`` here when left at ``"auto"``.
+        factor_cache_size: LRU bound on retained LU factorizations in
+            the campaign's solver (one per distinct stimulus
+            frequency × deviation state).
     """
 
     faults_per_element: int = 6
@@ -146,6 +158,8 @@ class CampaignConfig(_Replaceable):
     seed: int = 2024
     engine: str = "factorized"
     max_workers: int | None = None
+    backend: str = "auto"
+    factor_cache_size: int = 64
 
     def __post_init__(self) -> None:
         _require(
@@ -169,6 +183,15 @@ class CampaignConfig(_Replaceable):
         _require(
             self.max_workers is None or self.max_workers >= 1,
             f"max_workers must be None or >= 1, got {self.max_workers!r}",
+        )
+        _require(
+            self.backend in SIM_BACKENDS,
+            f"backend must be one of {SIM_BACKENDS}, got {self.backend!r}",
+        )
+        _require(
+            self.factor_cache_size >= 1,
+            "factor_cache_size must be >= 1, got "
+            f"{self.factor_cache_size!r}",
         )
 
 
@@ -206,15 +229,22 @@ class SessionConfig(_Replaceable):
         atpg: digital ATPG settings.
         max_workers: worker threads for ``run_batch`` (``None`` = one
             per batch entry, capped by the interpreter's CPU count).
+        backend: session-wide linear-system backend; injected into the
+            campaign config when that is left at ``"auto"``.
     """
 
     generator: GeneratorConfig = GeneratorConfig()
     campaign: CampaignConfig = CampaignConfig()
     atpg: AtpgConfig = AtpgConfig()
     max_workers: int | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         _require(
             self.max_workers is None or self.max_workers >= 1,
             f"max_workers must be None or >= 1, got {self.max_workers!r}",
+        )
+        _require(
+            self.backend in SIM_BACKENDS,
+            f"backend must be one of {SIM_BACKENDS}, got {self.backend!r}",
         )

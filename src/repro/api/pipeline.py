@@ -78,10 +78,16 @@ _REQUIRES = {"campaign": "stimulus"}
 
 @dataclass
 class StageTiming:
-    """Wall-clock cost of one executed stage."""
+    """Wall-clock cost of one executed stage.
+
+    ``backend`` names the linear-system backend the stage's analog
+    solves actually ran on, when the stage reports one (currently the
+    campaign stage); ``None`` otherwise.
+    """
 
     stage: str
     seconds: float
+    backend: str | None = None
 
 
 @dataclass
@@ -191,10 +197,13 @@ class PipelineOutcome:
         return sum(t.seconds for t in self.timings)
 
     def timing_table(self) -> str:
-        """One line per stage: name and wall-clock seconds."""
+        """One line per stage: name, wall-clock seconds, backend used."""
         lines = [f"== pipeline timing: {self.circuit_name} =="]
         for timing in self.timings:
-            lines.append(f"  {timing.stage:12s} {timing.seconds:8.3f}s")
+            suffix = f"  [{timing.backend}]" if timing.backend else ""
+            lines.append(
+                f"  {timing.stage:12s} {timing.seconds:8.3f}s{suffix}"
+            )
         lines.append(f"  {'total':12s} {self.total_seconds:8.3f}s")
         return "\n".join(lines)
 
@@ -249,7 +258,12 @@ class Pipeline:
                 continue  # the config vetoes the digital stage
             start = time.perf_counter()
             _STAGES[name](ctx)
-            timings.append(StageTiming(name, time.perf_counter() - start))
+            backend = None
+            if name == "campaign" and ctx.campaign is not None:
+                backend = (ctx.campaign.diagnostics or {}).get("backend")
+            timings.append(
+                StageTiming(name, time.perf_counter() - start, backend)
+            )
             executed.append(name)
         return PipelineOutcome(
             circuit_name=mixed.name,

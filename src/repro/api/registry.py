@@ -146,6 +146,7 @@ def default_registry() -> CircuitRegistry:
 
 def _build_default_registry() -> CircuitRegistry:
     from ..circuits import (
+        LADDER_SIZES,
         TABLE4_CIRCUITS,
         bandpass_filter,
         benchmark_digital,
@@ -153,6 +154,8 @@ def _build_default_registry() -> CircuitRegistry:
         example3_mixed_circuit,
         fig3_circuit,
         fig4_mixed_circuit,
+        r2r_mesh,
+        rc_ladder,
         state_variable_filter,
     )
 
@@ -203,6 +206,27 @@ def _build_default_registry() -> CircuitRegistry:
         aliases=("fig8-state-variable",),
     )
 
+    # -- parametric large circuits (sparse-backend scale) ---------------
+    for sections in LADDER_SIZES:
+        registry.register(
+            f"rc-ladder-{sections}",
+            _ladder_factory(rc_ladder, sections),
+            kind="analog",
+            description=(
+                f"{sections}-section RC low-pass ladder "
+                f"({sections + 1} nodes; sparse-backend scale testbed)"
+            ),
+        )
+        registry.register(
+            f"r2r-mesh-{sections}",
+            _ladder_factory(r2r_mesh, sections),
+            kind="analog",
+            description=(
+                f"{sections}-stage R-2R ladder mesh "
+                f"({sections + 1} nodes; sparse-backend scale testbed)"
+            ),
+        )
+
     # -- digital blocks -------------------------------------------------
     registry.register(
         "fig3",
@@ -218,6 +242,15 @@ def _build_default_registry() -> CircuitRegistry:
             description=f"ISCAS85-class benchmark block {bench}",
         )
     return registry
+
+
+def _ladder_factory(make, n_sections: int):
+    def build():
+        return make(n_sections)
+
+    build.__name__ = f"{make.__name__}_{n_sections}"
+    build.__doc__ = f"{make.__name__} generator fixed at N = {n_sections}."
+    return build
 
 
 def _example3_factory(example3_mixed_circuit, bench: str):

@@ -228,6 +228,10 @@ class TestSession:
             # The campaign's factorized engine fans out over faults with
             # the same worker budget the session uses for run_batch.
             campaign = campaign.replace(max_workers=self.config.max_workers)
+        if campaign.backend == "auto" and self.config.backend != "auto":
+            # Session-wide backend choice flows into the campaign stage
+            # unless the campaign config pinned one explicitly.
+            campaign = campaign.replace(backend=self.config.backend)
         pipeline = Pipeline(stages)
         if pooled:
             self._checkout_bdd(mixed, atpg.ordering)

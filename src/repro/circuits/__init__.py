@@ -26,6 +26,13 @@ from .benchmarks import (
     benchmark_digital,
     example3_mixed_circuit,
 )
+from .ladders import (
+    LADDER_OUTPUT,
+    LADDER_SIZES,
+    LADDER_SOURCE,
+    r2r_mesh,
+    rc_ladder,
+)
 
 __all__ = [
     "bandpass_filter",
@@ -48,4 +55,9 @@ __all__ = [
     "TABLE4_CIRCUITS",
     "benchmark_digital",
     "example3_mixed_circuit",
+    "rc_ladder",
+    "r2r_mesh",
+    "LADDER_SOURCE",
+    "LADDER_OUTPUT",
+    "LADDER_SIZES",
 ]

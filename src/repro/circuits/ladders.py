@@ -1,0 +1,100 @@
+"""Parametric large-circuit generators: RC ladders and R–2R meshes.
+
+The paper's circuits top out at a few dozen nodes — small enough that a
+dense MNA solve is instant.  These generators produce *arbitrarily
+large* linear networks with the same component vocabulary, so the
+sparse linear-system backend (:mod:`repro.spice.backends`) has
+realistic structure to chew on: tridiagonal-ish systems with thousands
+of unknowns where CSC + SuperLU beats dense LAPACK by orders of
+magnitude.
+
+Two families:
+
+* :func:`rc_ladder` — an N-section RC low-pass ladder
+  (``Vin ─ R ─ tap ─ C‖ ─ R ─ tap ─ C‖ ─ … ─ out``), the classic
+  distributed-RC line model.  N sections ⇒ N+1 nodes.
+* :func:`r2r_mesh` — an N-stage R–2R ladder mesh (series R backbone,
+  2R rungs to ground, a shunt C per tap), the DAC-style attenuator
+  network.  N stages ⇒ N+1 nodes.
+
+Both drive node ``"in"`` from a unit-AC voltage source named
+:data:`LADDER_SOURCE` and name their final tap :data:`LADDER_OUTPUT`,
+so every flow can address them uniformly.  Registry entries
+(``rc-ladder-512`` etc.) are registered by
+:mod:`repro.api.registry`; the functions stay parametric for tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..spice import AnalogCircuit, AnalogError, GROUND
+
+__all__ = [
+    "LADDER_SOURCE",
+    "LADDER_OUTPUT",
+    "LADDER_SIZES",
+    "rc_ladder",
+    "r2r_mesh",
+]
+
+#: driving voltage-source name shared by both ladder families.
+LADDER_SOURCE = "Vin"
+
+#: output-node name shared by both ladder families (the final tap).
+LADDER_OUTPUT = "out"
+
+#: section counts registered in the default circuit registry; the
+#: largest exceeds 500 nodes, the sparse backend's showcase scale.
+LADDER_SIZES = (64, 256, 512)
+
+
+def rc_ladder(
+    n_sections: int,
+    r_ohms: float = 1.0e3,
+    c_farads: float = 1.0e-9,
+) -> AnalogCircuit:
+    """An N-section RC low-pass ladder (N+1 nodes, one source branch).
+
+    Section *i* is a series resistor ``Ri`` into tap node ``n<i>``
+    (the last tap is named ``out``) with a shunt capacitor ``Ci`` to
+    ground.  DC transfer is exactly 1 (capacitors open, no DC load);
+    the AC response is the classic distributed low-pass roll-off.
+    """
+    if n_sections < 1:
+        raise AnalogError(f"need n_sections >= 1, got {n_sections!r}")
+    circuit = AnalogCircuit(f"rc-ladder-{n_sections}")
+    circuit.vsource(LADDER_SOURCE, "in", GROUND, dc=0.0, ac=1.0)
+    previous = "in"
+    for section in range(1, n_sections + 1):
+        tap = LADDER_OUTPUT if section == n_sections else f"n{section}"
+        circuit.resistor(f"R{section}", previous, tap, r_ohms)
+        circuit.capacitor(f"C{section}", tap, GROUND, c_farads)
+        previous = tap
+    return circuit
+
+
+def r2r_mesh(
+    n_stages: int,
+    r_ohms: float = 1.0e3,
+    c_farads: float = 1.0e-10,
+) -> AnalogCircuit:
+    """An N-stage R–2R ladder mesh (N+1 nodes, one source branch).
+
+    Stage *i* is a series backbone resistor ``Ri`` into tap ``m<i>``
+    (the last tap is named ``out``), a ``2R`` rung ``RG<i>`` from the
+    tap to ground, and a small shunt capacitor ``C<i>`` per tap.  Each
+    stage attenuates, so deep meshes exercise the solver across a huge
+    dynamic range.
+    """
+    if n_stages < 1:
+        raise AnalogError(f"need n_stages >= 1, got {n_stages!r}")
+    circuit = AnalogCircuit(f"r2r-mesh-{n_stages}")
+    circuit.vsource(LADDER_SOURCE, "in", GROUND, dc=0.0, ac=1.0)
+    previous = "in"
+    for stage in range(1, n_stages + 1):
+        tap = LADDER_OUTPUT if stage == n_stages else f"m{stage}"
+        circuit.resistor(f"R{stage}", previous, tap, r_ohms)
+        circuit.resistor(f"RG{stage}", tap, GROUND, 2.0 * r_ohms)
+        circuit.capacitor(f"C{stage}", tap, GROUND, c_farads)
+        previous = tap
+    return circuit

@@ -42,6 +42,7 @@ def run_campaign(
     severity_range: tuple[float, float] | None = None,
     seed: int | None = None,
     engine: str | None = None,
+    backend: str | None = None,
     config: CampaignConfig | None = None,
 ) -> CampaignResult:
     """Inject seeded analog faults and execute the emitted program.
@@ -56,20 +57,33 @@ def run_campaign(
     :class:`repro.api.CampaignConfig`; the loose keyword arguments are
     the legacy surface (explicit values override the config).  The
     ``engine`` selects the :mod:`repro.analog.faultsim` implementation
-    (``"factorized"`` fast path or the ``"reference"`` oracle).
+    (``"factorized"`` fast path or the ``"reference"`` oracle);
+    ``backend`` the :mod:`repro.spice.backends` linear-system backend
+    the engine's analog solves run on.  The returned result's
+    ``diagnostics`` records which backend actually ran and the
+    factorization-cache hit/miss counters.
     """
     config = (config if config is not None else CampaignConfig()).with_overrides(
         faults_per_element=faults_per_element,
         severity_range=severity_range,
         seed=seed,
         engine=engine,
+        backend=backend,
     )
     rng = random.Random(config.seed)
     testable = [t for t in report.analog_tests if t.testable]
     faults = draw_faults(
         testable, config.faults_per_element, config.severity_range, rng
     )
-    outcomes = get_engine(config.engine).run(
-        mixed, testable, faults, max_workers=config.max_workers
+    engine_instance = get_engine(config.engine)
+    outcomes = engine_instance.run(
+        mixed,
+        testable,
+        faults,
+        max_workers=config.max_workers,
+        backend=config.backend,
+        factor_cache_size=config.factor_cache_size,
     )
-    return CampaignResult(outcomes=outcomes)
+    return CampaignResult(
+        outcomes=outcomes, diagnostics=engine_instance.last_diagnostics
+    )

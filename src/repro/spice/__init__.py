@@ -1,4 +1,12 @@
-"""Linear analog circuit simulator (MNA) — the paper's analog substrate."""
+"""Linear analog circuit simulator (MNA) — the paper's analog substrate.
+
+The front door is :func:`analyze`: describe the analysis as a typed
+request (:class:`DcOp`, :class:`AcSweep`, :class:`TransientRun`) and
+pick a linear-system backend (``"auto"``/``"dense"``/``"sparse"``).
+The classic solver classes (:class:`MnaSolver`,
+:class:`TransientSolver`) remain as the underlying engine layer and
+accept the same ``backend`` selector.
+"""
 
 from .components import (
     Capacitor,
@@ -14,8 +22,22 @@ from .components import (
     VoltageSource,
 )
 from .netlist import GROUND, AnalogCircuit, AnalogError
+from .backends import (
+    BACKEND_NAMES,
+    BACKENDS,
+    AssembledSystem,
+    DenseBackend,
+    LinearFactorization,
+    LinearSystemBackend,
+    SPARSE_AUTO_THRESHOLD,
+    SingularSystemError,
+    SparseBackend,
+    SparsityPattern,
+    SystemAssembler,
+    resolve_backend,
+)
 from .mna import FactorizedMna, MnaSolver, Solution
-from .ac import FrequencyResponse, log_frequencies, sweep, transfer
+from .ac import FrequencyResponse, UnitSource, log_frequencies, sweep, transfer
 from .measure import (
     bandwidth,
     center_frequency,
@@ -25,7 +47,23 @@ from .measure import (
     gain_at,
     peak_gain,
 )
-from .transient import TransientResult, TransientSolver, sine, step
+from .transient import (
+    TransientResult,
+    TransientSolver,
+    TransientState,
+    sine,
+    step,
+)
+from .analysis import (
+    AcResult,
+    AcSweep,
+    AnalysisDiagnostics,
+    DcOp,
+    DcResult,
+    TransientRun,
+    TransientRunResult,
+    analyze,
+)
 
 __all__ = [
     "Component",
@@ -46,6 +84,7 @@ __all__ = [
     "FactorizedMna",
     "Solution",
     "FrequencyResponse",
+    "UnitSource",
     "transfer",
     "sweep",
     "log_frequencies",
@@ -58,6 +97,29 @@ __all__ = [
     "bandwidth",
     "TransientSolver",
     "TransientResult",
+    "TransientState",
     "sine",
     "step",
+    # backend layer
+    "LinearSystemBackend",
+    "LinearFactorization",
+    "DenseBackend",
+    "SparseBackend",
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "SPARSE_AUTO_THRESHOLD",
+    "SingularSystemError",
+    "AssembledSystem",
+    "SystemAssembler",
+    "SparsityPattern",
+    "resolve_backend",
+    # analyze() front door
+    "analyze",
+    "DcOp",
+    "AcSweep",
+    "TransientRun",
+    "DcResult",
+    "AcResult",
+    "TransientRunResult",
+    "AnalysisDiagnostics",
 ]

@@ -8,11 +8,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .backends import LinearSystemBackend
 from .mna import MnaSolver
 from .netlist import AnalogCircuit, AnalogError
 from .components import VoltageSource
 
-__all__ = ["FrequencyResponse", "transfer", "sweep", "log_frequencies"]
+__all__ = [
+    "FrequencyResponse",
+    "UnitSource",
+    "transfer",
+    "sweep",
+    "log_frequencies",
+]
 
 
 @dataclass
@@ -39,7 +46,21 @@ class FrequencyResponse:
         return self.frequencies_hz[index], magnitudes[index]
 
     def at(self, frequency_hz: float) -> complex:
-        """Nearest-sample lookup (for table rendering)."""
+        """Nearest-sample lookup (for table rendering).
+
+        The requested frequency must lie inside the swept range —
+        nearest-sample extrapolation beyond the endpoints silently
+        returns the edge value, which is never what a table wants, so
+        it raises :class:`AnalogError` instead.
+        """
+        low = min(self.frequencies_hz)
+        high = max(self.frequencies_hz)
+        slack = 1e-9 * max(1.0, abs(high))
+        if frequency_hz < low - slack or frequency_hz > high + slack:
+            raise AnalogError(
+                f"frequency {frequency_hz!r} Hz is outside the swept "
+                f"range [{low!r}, {high!r}] Hz"
+            )
         index = min(
             range(len(self.frequencies_hz)),
             key=lambda i: abs(self.frequencies_hz[i] - frequency_hz),
@@ -47,11 +68,28 @@ class FrequencyResponse:
         return self.transfer_values[index]
 
 
-def _ac_source(circuit: AnalogCircuit, source_name: str) -> VoltageSource:
-    source = circuit.component(source_name)
-    if not isinstance(source, VoltageSource):
-        raise AnalogError(f"{source_name!r} is not a voltage source")
-    return source
+class UnitSource:
+    """Temporarily drive a voltage source at unit amplitude.
+
+    With the source at 1 V the output phasor *is* the transfer value,
+    for the AC (``ac``) and DC (``dc``) systems alike.  Restores the
+    original levels on exit, even when a solve fails mid-flight.
+    """
+
+    def __init__(self, circuit: AnalogCircuit, source_name: str):
+        source = circuit.component(source_name)
+        if not isinstance(source, VoltageSource):
+            raise AnalogError(f"{source_name!r} is not a voltage source")
+        self._source = source
+        self._saved: tuple[float, float] | None = None
+
+    def __enter__(self) -> VoltageSource:
+        self._saved = (self._source.ac, self._source.dc)
+        self._source.ac, self._source.dc = 1.0, 1.0
+        return self._source
+
+    def __exit__(self, *exc_info) -> None:
+        self._source.ac, self._source.dc = self._saved
 
 
 def transfer(
@@ -59,20 +97,16 @@ def transfer(
     source_name: str,
     output_node: str,
     frequency_hz: float,
+    backend: str | LinearSystemBackend = "auto",
 ) -> complex:
     """Voltage transfer ``v(output)/v(source)`` at one frequency.
 
     The source's AC amplitude is temporarily forced to 1 V so the output
     phasor *is* the transfer value; the original amplitude is restored.
     """
-    source = _ac_source(circuit, source_name)
-    original_ac, original_dc = source.ac, source.dc
-    source.ac, source.dc = 1.0, 1.0 if frequency_hz == 0 else original_dc
-    try:
-        solution = MnaSolver(circuit).solve(frequency_hz)
+    with UnitSource(circuit, source_name):
+        solution = MnaSolver(circuit, backend=backend).solve(frequency_hz)
         return solution.voltage(output_node)
-    finally:
-        source.ac, source.dc = original_ac, original_dc
 
 
 def sweep(
@@ -80,11 +114,20 @@ def sweep(
     source_name: str,
     output_node: str,
     frequencies_hz: Sequence[float],
+    backend: str | LinearSystemBackend = "auto",
 ) -> FrequencyResponse:
-    """Sample the transfer function over a frequency list."""
-    values = [
-        transfer(circuit, source_name, output_node, f) for f in frequencies_hz
-    ]
+    """Sample the transfer function over a frequency list.
+
+    One solver serves the whole sweep, so repeated frequencies reuse
+    the factorization cache and the sparse backend reuses its symbolic
+    pattern across the grid.
+    """
+    with UnitSource(circuit, source_name):
+        solver = MnaSolver(circuit, backend=backend)
+        values = [
+            solver.factorized(f).solution().voltage(output_node)
+            for f in frequencies_hz
+        ]
     return FrequencyResponse(list(frequencies_hz), values)
 
 

@@ -1,0 +1,370 @@
+"""One typed front door for the simulation layer: ``analyze()``.
+
+Instead of picking among :class:`~repro.spice.MnaSolver`,
+:func:`~repro.spice.ac.sweep` and :class:`~repro.spice.TransientSolver`
+(and wiring each to a linear-system backend by hand), callers describe
+*what* they want as a request object and let the front door route it:
+
+    from repro.spice import analyze, DcOp, AcSweep, TransientRun, sine
+
+    op = analyze(circuit, DcOp())
+    print(op.voltage("out"))
+
+    bode = analyze(
+        circuit,
+        AcSweep.log(10.0, 1e6, source="Vin", output="out"),
+        backend="sparse",
+    )
+    print(bode.response.magnitudes_db()[:3], bode.diagnostics.backend)
+
+    wave = analyze(
+        circuit,
+        TransientRun(t_stop=1e-3, dt=1e-6, sources={"Vin": sine(1.0, 2.5e3)}),
+    )
+    print(wave.waveform("out")[-1])
+
+Every result carries an :class:`AnalysisDiagnostics` describing which
+backend actually ran, the system size, and the factorization-cache
+hit/miss counters — the observability hook the campaign and pipeline
+layers surface upward.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ac import FrequencyResponse, UnitSource, log_frequencies
+from .backends import LinearSystemBackend
+from .mna import MnaSolver, Solution
+from .netlist import AnalogCircuit, AnalogError
+from .transient import TransientResult, TransientSolver
+
+__all__ = [
+    "DcOp",
+    "AcSweep",
+    "TransientRun",
+    "AnalysisDiagnostics",
+    "DcResult",
+    "AcResult",
+    "TransientRunResult",
+    "analyze",
+]
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DcOp:
+    """Request: the DC operating point of the circuit as built."""
+
+
+@dataclass(frozen=True)
+class AcSweep:
+    """Request: solve the AC system over a frequency grid.
+
+    With ``source``/``output`` set (both or neither), the named voltage
+    source is driven at unit amplitude and the result carries the
+    sampled transfer function ``H(f) = v(output)`` as a
+    :class:`~repro.spice.FrequencyResponse`; otherwise the circuit is
+    solved as built and only the per-frequency solutions are returned.
+    """
+
+    frequencies_hz: tuple[float, ...]
+    source: str | None = None
+    output: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "frequencies_hz", tuple(self.frequencies_hz)
+        )
+        if not self.frequencies_hz:
+            raise AnalogError("AcSweep needs at least one frequency")
+        if any(f < 0 for f in self.frequencies_hz):
+            raise AnalogError("AcSweep frequencies must be >= 0")
+        if (self.source is None) != (self.output is None):
+            raise AnalogError(
+                "AcSweep needs both source and output (for a transfer "
+                "sweep) or neither (solve the circuit as built)"
+            )
+
+    @classmethod
+    def log(
+        cls,
+        start_hz: float,
+        stop_hz: float,
+        points_per_decade: int = 20,
+        source: str | None = None,
+        output: str | None = None,
+    ) -> "AcSweep":
+        """A logarithmic grid sweep (inclusive endpoints)."""
+        return cls(
+            tuple(log_frequencies(start_hz, stop_hz, points_per_decade)),
+            source=source,
+            output=output,
+        )
+
+
+@dataclass(frozen=True)
+class TransientRun:
+    """Request: backward-Euler transient from 0 to ``t_stop``.
+
+    ``sources`` maps source names to time functions overriding their
+    static ``dc`` level (see :func:`~repro.spice.sine` /
+    :func:`~repro.spice.step`); ``initial`` seeds node voltages.
+    """
+
+    t_stop: float
+    dt: float
+    sources: Mapping[str, Callable[[float], float]] | None = None
+    initial: Mapping[str, float] | None = None
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class AnalysisDiagnostics:
+    """What actually ran: backend, system size, cache behaviour."""
+
+    backend: str
+    n_nodes: int
+    n_unknowns: int
+    factorizations: int
+    cache_hits: int
+    cache_misses: int
+    elapsed_s: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (for artifact/report metadata)."""
+        return {
+            "backend": self.backend,
+            "n_nodes": self.n_nodes,
+            "n_unknowns": self.n_unknowns,
+            "factorizations": self.factorizations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+
+@dataclass
+class DcResult:
+    """The DC operating point plus run diagnostics."""
+
+    solution: Solution
+    diagnostics: AnalysisDiagnostics
+
+    def voltage(self, node: str) -> complex:
+        """DC voltage of one node."""
+        return self.solution.voltage(node)
+
+    def magnitude(self, node: str) -> float:
+        """|v(node)| at DC."""
+        return self.solution.magnitude(node)
+
+    def branch_current(self, component_name: str) -> complex:
+        """DC current through a branch-forming device."""
+        return self.solution.branch_current(component_name)
+
+
+@dataclass
+class AcResult:
+    """Per-frequency solutions (and optional transfer response)."""
+
+    frequencies_hz: list[float]
+    solutions: list[Solution]
+    response: FrequencyResponse | None
+    diagnostics: AnalysisDiagnostics
+
+    def voltage(self, node: str) -> list[complex]:
+        """The node's phasor at every swept frequency."""
+        return [solution.voltage(node) for solution in self.solutions]
+
+    def magnitude(self, node: str) -> list[float]:
+        """|v(node)| at every swept frequency."""
+        return [solution.magnitude(node) for solution in self.solutions]
+
+
+@dataclass
+class TransientRunResult:
+    """Sampled waveforms plus run diagnostics."""
+
+    waveforms: TransientResult
+    diagnostics: AnalysisDiagnostics
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample instants."""
+        return self.waveforms.times
+
+    def waveform(self, node: str) -> np.ndarray:
+        """The voltage samples of one node."""
+        return self.waveforms.waveform(node)
+
+    def amplitude(self, node: str, settle_fraction: float = 0.5) -> float:
+        """Peak |v| over the settled tail."""
+        return self.waveforms.amplitude(node, settle_fraction)
+
+    def duty_above(
+        self, node: str, vref: float, settle_fraction: float = 0.5
+    ) -> float:
+        """Fraction of settled time above ``vref`` (the paper's Tp)."""
+        return self.waveforms.duty_above(node, vref, settle_fraction)
+
+
+# ----------------------------------------------------------------------
+# The front door
+# ----------------------------------------------------------------------
+def _solver_diagnostics(
+    solver: MnaSolver, size: int, elapsed: float
+) -> AnalysisDiagnostics:
+    stats = solver.cache_stats()
+    return AnalysisDiagnostics(
+        backend=stats["backend"],
+        n_nodes=len(solver._node_index),
+        n_unknowns=size,
+        factorizations=stats["misses"],
+        cache_hits=stats["hits"],
+        cache_misses=stats["misses"],
+        elapsed_s=elapsed,
+    )
+
+
+def _analyze_dc(
+    circuit: AnalogCircuit,
+    request: DcOp,
+    backend,
+    factor_cache_size,
+    start: float,
+) -> DcResult:
+    solver = MnaSolver(
+        circuit, backend=backend, factor_cache_size=factor_cache_size
+    )
+    factorized = solver.factorized(0.0)
+    return DcResult(
+        solution=factorized.solution(),
+        diagnostics=_solver_diagnostics(
+            solver, factorized._size, time.perf_counter() - start
+        ),
+    )
+
+
+def _analyze_ac(
+    circuit: AnalogCircuit,
+    request: AcSweep,
+    backend,
+    factor_cache_size,
+    start: float,
+) -> AcResult:
+    solver = MnaSolver(
+        circuit, backend=backend, factor_cache_size=factor_cache_size
+    )
+    size = 0
+
+    def _solve_grid() -> list[Solution]:
+        # Keep only the Solution per frequency — holding every
+        # FactorizedMna for the sweep would defeat the LRU bound on
+        # retained factorizations for long grids.
+        nonlocal size
+        solutions = []
+        for frequency in request.frequencies_hz:
+            factorized = solver.factorized(frequency)
+            size = factorized._size
+            solutions.append(factorized.solution())
+        return solutions
+
+    if request.source is not None:
+        with UnitSource(circuit, request.source):
+            solutions = _solve_grid()
+    else:
+        solutions = _solve_grid()
+    response = None
+    if request.source is not None:
+        response = FrequencyResponse(
+            list(request.frequencies_hz),
+            [solution.voltage(request.output) for solution in solutions],
+        )
+    return AcResult(
+        frequencies_hz=list(request.frequencies_hz),
+        solutions=solutions,
+        response=response,
+        diagnostics=_solver_diagnostics(
+            solver, size, time.perf_counter() - start
+        ),
+    )
+
+
+def _analyze_transient(
+    circuit: AnalogCircuit,
+    request: TransientRun,
+    backend,
+    factor_cache_size,
+    start: float,
+) -> TransientRunResult:
+    solver = TransientSolver(circuit, backend=backend)
+    waveforms = solver.run(
+        request.t_stop,
+        request.dt,
+        source_waveforms=request.sources,
+        initial=request.initial,
+    )
+    stats = solver.stats()
+    return TransientRunResult(
+        waveforms=waveforms,
+        diagnostics=AnalysisDiagnostics(
+            backend=stats["backend"],
+            n_nodes=stats["n_nodes"],
+            n_unknowns=stats["size"],
+            factorizations=1,
+            cache_hits=0,
+            cache_misses=1,
+            elapsed_s=time.perf_counter() - start,
+        ),
+    )
+
+
+def analyze(
+    circuit: AnalogCircuit,
+    request: "DcOp | AcSweep | TransientRun",
+    backend: str | LinearSystemBackend = "auto",
+    factor_cache_size: int | None = None,
+):
+    """Run one analysis request against a circuit and return its result.
+
+    Args:
+        circuit: the :class:`~repro.spice.AnalogCircuit` under analysis
+            (its current deviation state is honoured).
+        request: a :class:`DcOp`, :class:`AcSweep` or
+            :class:`TransientRun`.
+        backend: linear-system backend — ``"auto"`` (sparse at/above the
+            node-count threshold, dense below), ``"dense"``,
+            ``"sparse"``, or a
+            :class:`~repro.spice.backends.LinearSystemBackend` instance.
+        factor_cache_size: LRU bound for retained factorizations
+            (DC/AC requests; the default is
+            :attr:`~repro.spice.MnaSolver.FACTOR_CACHE_MAX`).
+
+    Returns:
+        :class:`DcResult`, :class:`AcResult` or
+        :class:`TransientRunResult`, matching the request type; each
+        carries an :class:`AnalysisDiagnostics` naming the backend that
+        actually ran.
+    """
+    start = time.perf_counter()
+    if isinstance(request, DcOp):
+        return _analyze_dc(circuit, request, backend, factor_cache_size, start)
+    if isinstance(request, AcSweep):
+        return _analyze_ac(circuit, request, backend, factor_cache_size, start)
+    if isinstance(request, TransientRun):
+        return _analyze_transient(
+            circuit, request, backend, factor_cache_size, start
+        )
+    raise AnalogError(
+        f"unknown analysis request {type(request).__name__!r}; expected "
+        "DcOp, AcSweep or TransientRun"
+    )

@@ -62,6 +62,31 @@ class Component:
         """Stamp the device at complex frequency ``s`` with its live value."""
         raise NotImplementedError
 
+    def stamp_companion(
+        self, ctx: StampContext, value: float, dt: float
+    ) -> None:
+        """Stamp the backward-Euler companion model (matrix part only).
+
+        Used by the transient analysis: the companion network is
+        resistive, so its matrix is real and constant across timesteps.
+        The default is the device's DC stamp (exact for memoryless
+        devices); devices with state (C, L) override with their
+        ``value/dt`` companion conductances.  RHS history/source terms
+        go through :meth:`stamp_companion_rhs` instead.
+        """
+        self.stamp(ctx, 0.0, value)
+
+    def stamp_companion_rhs(
+        self, ctx: StampContext, value: float, dt: float, state
+    ) -> None:
+        """Stamp the companion right-hand side for one timestep.
+
+        ``state`` is a :class:`repro.spice.transient.TransientState`
+        exposing the previous step's node voltages and branch currents
+        plus the live source levels.  The default stamps nothing —
+        only storage elements and independent sources contribute.
+        """
+
     @property
     def has_value(self) -> bool:
         """True when the device carries a tunable scalar value (R, C, ...)."""
@@ -102,6 +127,21 @@ class Capacitor(Component):
             return  # open at DC
         _stamp_admittance(ctx, self.n1, self.n2, s * value)
 
+    def stamp_companion(
+        self, ctx: StampContext, value: float, dt: float
+    ) -> None:
+        # Backward Euler: C becomes a conductance C/h in parallel with a
+        # history current source (the RHS part).
+        _stamp_admittance(ctx, self.n1, self.n2, value / dt)
+
+    def stamp_companion_rhs(
+        self, ctx: StampContext, value: float, dt: float, state
+    ) -> None:
+        g = value / dt
+        history = g * (state.voltage(self.n1) - state.voltage(self.n2))
+        ctx.rhs(ctx.index(self.n1), history)
+        ctx.rhs(ctx.index(self.n2), -history)
+
 
 @dataclass
 class Inductor(Component):
@@ -119,6 +159,25 @@ class Inductor(Component):
         ctx.add(b, i, 1.0)
         ctx.add(b, j, -1.0)
         ctx.add(b, b, -s * value)
+
+    def stamp_companion(
+        self, ctx: StampContext, value: float, dt: float
+    ) -> None:
+        # Backward Euler: the branch equation gains a -L/h resistance
+        # term; the L/h·i_prev history lives in the RHS.
+        i, j = ctx.index(self.n1), ctx.index(self.n2)
+        b = ctx.branch(self.name)
+        ctx.add(i, b, 1.0)
+        ctx.add(j, b, -1.0)
+        ctx.add(b, i, 1.0)
+        ctx.add(b, j, -1.0)
+        ctx.add(b, b, -value / dt)
+
+    def stamp_companion_rhs(
+        self, ctx: StampContext, value: float, dt: float, state
+    ) -> None:
+        b = ctx.branch(self.name)
+        ctx.rhs(b, -(value / dt) * state.branch_current(self.name))
 
 
 @dataclass
@@ -139,6 +198,11 @@ class VoltageSource(Component):
         ctx.add(b, j, -1.0)
         ctx.rhs(b, self.dc if s == 0 else self.ac)
 
+    def stamp_companion_rhs(
+        self, ctx: StampContext, value: float, dt: float, state
+    ) -> None:
+        ctx.rhs(ctx.branch(self.name), state.source_level(self))
+
     @property
     def has_value(self) -> bool:
         return False
@@ -158,6 +222,13 @@ class CurrentSource(Component):
         level = self.dc if s == 0 else self.ac
         ctx.rhs(i, -level)
         ctx.rhs(j, level)
+
+    def stamp_companion_rhs(
+        self, ctx: StampContext, value: float, dt: float, state
+    ) -> None:
+        level = state.source_level(self)
+        ctx.rhs(ctx.index(self.plus), -level)
+        ctx.rhs(ctx.index(self.minus), level)
 
     @property
     def has_value(self) -> bool:

@@ -30,8 +30,14 @@ import cmath
 import math
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
 
+from .backends import (
+    AssembledSystem,
+    LinearSystemBackend,
+    SingularSystemError,
+    SystemAssembler,
+    resolve_backend,
+)
 from .components import StampContext
 from .netlist import GROUND, AnalogCircuit, AnalogError
 
@@ -86,71 +92,56 @@ class Solution:
         return list(self._voltages)
 
 
-class _Assembler(StampContext):
-    """Concrete stamp context backed by a dense complex matrix."""
-
-    def __init__(self, node_index: dict[str, int]):
-        self._node_index = node_index
-        self._n_nodes = len(node_index)
-        self._branches: dict[str, int] = {}
-        self.entries: list[tuple[int, int, complex]] = []
-        self.rhs_entries: list[tuple[int, complex]] = []
-
-    def index(self, node: str) -> int | None:
-        if node == GROUND:
-            return None
-        try:
-            return self._node_index[node]
-        except KeyError:
-            raise AnalogError(f"unknown node {node!r}") from None
-
-    def branch(self, tag: str) -> int:
-        if tag in self._branches:
-            return self._branches[tag]
-        row = self._n_nodes + len(self._branches)
-        self._branches[tag] = row
-        return row
-
-    def add(self, row: int | None, col: int | None, value: complex) -> None:
-        if row is None or col is None:
-            return
-        self.entries.append((row, col, value))
-
-    def rhs(self, row: int | None, value: complex) -> None:
-        if row is None:
-            return
-        self.rhs_entries.append((row, value))
-
-    @property
-    def size(self) -> int:
-        return self._n_nodes + len(self._branches)
-
-    @property
-    def branch_rows(self) -> dict[str, int]:
-        return dict(self._branches)
-
-
 class MnaSolver:
-    """Assemble-and-solve wrapper around one :class:`AnalogCircuit`."""
+    """Assemble-and-solve wrapper around one :class:`AnalogCircuit`.
+
+    ``backend`` selects the linear-system engine — ``"dense"`` (LAPACK
+    LU), ``"sparse"`` (CSC + SuperLU with symbolic-pattern reuse), or
+    ``"auto"`` (sparse at/above
+    :data:`repro.spice.backends.SPARSE_AUTO_THRESHOLD` nodes); a
+    ready-made :class:`repro.spice.backends.LinearSystemBackend`
+    instance is accepted too.  ``factor_cache_size`` bounds the
+    per-solver LRU of retained factorizations (default
+    :attr:`FACTOR_CACHE_MAX`).
+    """
 
     #: conductance added from every node to ground; keeps matrices
     #: non-singular for nodes isolated at DC (e.g. between two capacitors)
     #: without measurably perturbing kilo-ohm scale circuits.
     GMIN = 1.0e-12
 
-    def __init__(self, circuit: AnalogCircuit):
+    def __init__(
+        self,
+        circuit: AnalogCircuit,
+        backend: str | LinearSystemBackend = "auto",
+        factor_cache_size: int | None = None,
+    ):
         self.circuit = circuit
         self._node_index = {
             node: index for index, node in enumerate(circuit.nodes())
         }
+        self.backend = resolve_backend(backend, n_nodes=len(self._node_index))
+        if factor_cache_size is None:
+            factor_cache_size = self.FACTOR_CACHE_MAX
+        if factor_cache_size < 1:
+            raise AnalogError(
+                f"factor_cache_size must be >= 1, got {factor_cache_size!r}"
+            )
+        self.factor_cache_size = factor_cache_size
         self._factorizations: dict[tuple, "FactorizedMna"] = {}
+        #: caller-owned symbolic-pattern cache the sparse backend reuses
+        #: across frequencies and deviation states (same topology ⇒ same
+        #: sparsity structure).
+        self._patterns: dict[bytes, object] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def _assemble(
         self, frequency_hz: float
-    ) -> tuple[np.ndarray, np.ndarray, _Assembler, complex]:
-        """Assemble the dense MNA system at one frequency."""
+    ) -> tuple[AssembledSystem, SystemAssembler, complex]:
+        """Assemble the MNA system at one frequency (COO triplet form)."""
         s = 2j * math.pi * frequency_hz if frequency_hz else 0.0
-        assembler = _Assembler(self._node_index)
+        assembler = SystemAssembler(self._node_index, dtype=complex)
         for component in self.circuit.components:
             value = (
                 self.circuit.effective_value(component.name)
@@ -158,18 +149,9 @@ class MnaSolver:
                 else 0.0
             )
             component.stamp(assembler, s, value)
-        size = assembler.size
-        if size == 0:
+        if assembler.size == 0:
             raise AnalogError(f"circuit {self.circuit.name!r} is empty")
-        matrix = np.zeros((size, size), dtype=complex)
-        for row, col, value in assembler.entries:
-            matrix[row, col] += value
-        for index in range(len(self._node_index)):
-            matrix[index, index] += self.GMIN
-        rhs = np.zeros(size, dtype=complex)
-        for row, value in assembler.rhs_entries:
-            rhs[row] += value
-        return matrix, rhs, assembler, s
+        return assembler.finish(gmin=self.GMIN), assembler, s
 
     def _solution(
         self, vector: np.ndarray, branch_rows: dict[str, int], frequency_hz: float
@@ -186,10 +168,10 @@ class MnaSolver:
 
     def solve(self, frequency_hz: float) -> Solution:
         """Solve at one frequency; ``0.0`` selects the DC system."""
-        matrix, rhs, assembler, _ = self._assemble(frequency_hz)
+        system, assembler, _ = self._assemble(frequency_hz)
         try:
-            solution = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
+            solution = self.backend.solve_once(system, self._patterns)
+        except SingularSystemError as exc:
             raise AnalogError(
                 f"singular MNA system for {self.circuit.name!r} at "
                 f"{frequency_hz} Hz: {exc}"
@@ -212,9 +194,10 @@ class MnaSolver:
             tuple(sorted(self.circuit.deviations().items())),
         )
 
-    #: retained factorizations; beyond this the least-recently-used one
-    #: is dropped (a deviation sweep would otherwise grow one dense
-    #: matrix + LU per swept value, unbounded).
+    #: default bound on retained factorizations; beyond this the least-
+    #: recently-used one is dropped (a deviation sweep would otherwise
+    #: grow one matrix + LU per swept value, unbounded).  Per-solver
+    #: override: the ``factor_cache_size`` constructor argument.
     FACTOR_CACHE_MAX = 64
 
     def factorized(self, frequency_hz: float) -> "FactorizedMna":
@@ -224,14 +207,18 @@ class MnaSolver:
         repeated calls under the same circuit state return the same
         object, so sweeps and campaigns pay assembly + LU exactly once
         per distinct system.  The cache holds at most
-        :attr:`FACTOR_CACHE_MAX` systems (LRU).
+        :attr:`factor_cache_size` systems (LRU); hits and misses are
+        reported by :meth:`cache_stats`.
         """
         key = self._factorization_key(frequency_hz)
         cached = self._factorizations.pop(key, None)
         if cached is None:
+            self._cache_misses += 1
             cached = FactorizedMna(self, frequency_hz)
+        else:
+            self._cache_hits += 1
         self._factorizations[key] = cached  # re-insert = most recent
-        while len(self._factorizations) > self.FACTOR_CACHE_MAX:
+        while len(self._factorizations) > self.factor_cache_size:
             self._factorizations.pop(next(iter(self._factorizations)))
         return cached
 
@@ -243,6 +230,21 @@ class MnaSolver:
         re-assembling and re-factoring.
         """
         return [self.factorized(f).solution() for f in frequencies_hz]
+
+    def cache_stats(self) -> dict:
+        """Factorization-cache diagnostics for this solver.
+
+        ``hits``/``misses`` count :meth:`factorized` lookups; ``size``/
+        ``max_size`` describe the LRU; ``backend`` names the linear-
+        system backend serving the factorizations.
+        """
+        return {
+            "backend": self.backend.name,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._factorizations),
+            "max_size": self.factor_cache_size,
+        }
 
     def clear_factorizations(self) -> None:
         """Drop every cached factorization (e.g. after editing values)."""
@@ -312,20 +314,21 @@ class FactorizedMna:
     def __init__(self, solver: MnaSolver, frequency_hz: float):
         self.solver = solver
         self.frequency_hz = frequency_hz
-        matrix, rhs, assembler, s = solver._assemble(frequency_hz)
-        self._matrix = matrix
-        self._rhs = rhs
+        system, assembler, s = solver._assemble(frequency_hz)
+        self._rhs = system.rhs
         self._s = s
         self._branch_rows = assembler.branch_rows
-        self._size = matrix.shape[0]
-        self._lu = lu_factor(matrix, check_finite=False)
-        diagonal = np.abs(np.diagonal(self._lu[0]))
-        if not np.all(np.isfinite(diagonal)) or diagonal.min() == 0.0:
+        self._size = system.size
+        try:
+            self._factorization = solver.backend.factorize(
+                system, solver._patterns
+            )
+        except SingularSystemError as exc:
             raise AnalogError(
                 f"singular MNA system for {solver.circuit.name!r} at "
-                f"{frequency_hz} Hz: zero pivot in LU factorization"
-            )
-        self._base = lu_solve(self._lu, rhs, check_finite=False)
+                f"{frequency_hz} Hz: {exc}"
+            ) from exc
+        self._base = self._factorization.solve(system.rhs)
         self._base_solution = solver._solution(
             self._base, self._branch_rows, frequency_hz
         )
@@ -341,6 +344,11 @@ class FactorizedMna:
         self._ys: dict[tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """Name of the linear-system backend serving this factorization."""
+        return self._factorization.backend_name
+
     def solution(self) -> Solution:
         """The baseline (as-assembled) solution — two triangular solves
         already paid; this is a constant-time accessor."""
@@ -348,7 +356,7 @@ class FactorizedMna:
 
     def solve_rhs(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A·x = rhs`` against the cached factorization."""
-        return lu_solve(self._lu, rhs, check_finite=False)
+        return self._factorization.solve(rhs)
 
     # ------------------------------------------------------------------
     def _stamp_delta(
@@ -379,16 +387,13 @@ class FactorizedMna:
             return None
         return entries, delta.rhs_touched
 
-    def _dense_patched_solve(
+    def _patched_solve(
         self, entries: dict[tuple[int, int], complex]
     ) -> np.ndarray:
         """Fallback: solve the explicitly patched matrix from scratch."""
-        matrix = self._matrix.copy()
-        for (row, col), value in entries.items():
-            matrix[row, col] += value
         try:
-            return np.linalg.solve(matrix, self._rhs)
-        except np.linalg.LinAlgError as exc:
+            return self._factorization.solve_patched(entries, self._rhs)
+        except SingularSystemError as exc:
             raise AnalogError(
                 f"singular deviated MNA system for "
                 f"{self.solver.circuit.name!r} at {self.frequency_hz} Hz: "
@@ -505,7 +510,7 @@ class FactorizedMna:
         if y is None:
             u = np.zeros(self._size, dtype=complex)
             u[u_rows] = u_vals
-            y = lu_solve(self._lu, u, check_finite=False)
+            y = self._factorization.solve(u)
             if u_key is not None:
                 self._ys[u_key] = y
         w_dot_y = sum(w * y[c] for c, w in zip(w_cols, w_vals))
@@ -538,7 +543,7 @@ class FactorizedMna:
         if update is None:
             return self._base_solution
         if isinstance(update, dict):
-            vector = self._dense_patched_solve(update)
+            vector = self._patched_solve(update)
         else:
             y, scale = update
             vector = self._base - y * scale
@@ -563,6 +568,6 @@ class FactorizedMna:
         if update is None:
             return complex(self._base[index])
         if isinstance(update, dict):
-            return complex(self._dense_patched_solve(update)[index])
+            return complex(self._patched_solve(update)[index])
         y, scale = update
         return complex(self._base[index] - y[index] * scale)

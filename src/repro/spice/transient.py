@@ -8,35 +8,42 @@ the main flow predicts the crossing from the output amplitude; this
 module provides the time-domain view that validates that prediction and
 lets users inspect the actual comparator waveforms.
 
-Implementation: classic SPICE-style transient — each capacitor becomes a
-conductance ``C/h`` in parallel with a history current source, each
-inductor a resistance ``L/h`` companion in its branch; the resulting
-resistive network is solved per time step.  Linear circuits only (the
-package's scope), so no Newton iteration is needed.
+Implementation: classic SPICE-style transient — each component stamps
+its backward-Euler *companion model* through the same
+:class:`repro.spice.components.StampContext` protocol the AC/DC
+analyses use (:meth:`~repro.spice.components.Component.stamp_companion`
+for the constant resistive matrix,
+:meth:`~repro.spice.components.Component.stamp_companion_rhs` for the
+per-step history/source terms).  The matrix is factorized once by the
+selected :mod:`repro.spice.backends` backend and re-solved per step.
+Linear circuits only (the package's scope), so no Newton iteration is
+needed.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 import numpy as np
 
-from .components import (
-    Capacitor,
-    CurrentSource,
-    FiniteOpAmp,
-    IdealOpAmp,
-    Inductor,
-    Resistor,
-    VCVS,
-    VCCS,
-    VoltageSource,
+from .backends import (
+    LinearSystemBackend,
+    SingularSystemError,
+    SystemAssembler,
+    resolve_backend,
 )
+from .components import StampContext
 from .netlist import GROUND, AnalogCircuit, AnalogError
 
-__all__ = ["TransientResult", "TransientSolver", "sine", "step"]
+__all__ = [
+    "TransientResult",
+    "TransientSolver",
+    "TransientState",
+    "sine",
+    "step",
+]
 
 
 def sine(amplitude: float, frequency_hz: float, phase_rad: float = 0.0):
@@ -69,7 +76,11 @@ class TransientResult:
         try:
             return self.voltages[node]
         except KeyError:
-            raise AnalogError(f"no node named {node!r} in result") from None
+            available = ", ".join(sorted(self.voltages))
+            raise AnalogError(
+                f"no node named {node!r} in transient result; "
+                f"available nodes: {available}"
+            ) from None
 
     def amplitude(self, node: str, settle_fraction: float = 0.5) -> float:
         """Peak |v| over the settled tail of the simulation."""
@@ -97,20 +108,139 @@ class TransientResult:
         return float(np.mean(bits))
 
 
+class TransientState:
+    """Previous-step solution and source drive, as seen by RHS stamps.
+
+    Passed to :meth:`repro.spice.components.Component.
+    stamp_companion_rhs`; exposes the previous node voltages, the
+    previous branch currents, the current simulation time, and the
+    per-source waveform overrides.
+    """
+
+    def __init__(
+        self,
+        node_index: Mapping[str, int],
+        branch_rows: Mapping[str, int],
+        waveforms: Mapping[str, Callable[[float], float]],
+        n_nodes: int,
+    ):
+        self._node_index = node_index
+        self._branch_rows = branch_rows
+        self._waveforms = waveforms
+        self._n_nodes = n_nodes
+        self.time = 0.0
+        self._voltages = np.zeros(n_nodes)
+        self._branch = np.zeros(0)
+
+    def advance(self, solution: np.ndarray, time: float) -> None:
+        """Install one solved step as the new previous state."""
+        self._voltages = solution[: self._n_nodes]
+        self._branch = solution[self._n_nodes :]
+        self.time = time
+
+    def set_initial(self, initial: Mapping[str, float]) -> None:
+        """Seed the previous node voltages (t = 0 state)."""
+        for name, level in initial.items():
+            if name != GROUND:
+                self._voltages[self._node_index[name]] = level
+
+    @property
+    def voltages(self) -> np.ndarray:
+        """Previous-step node voltages (solver ordering)."""
+        return self._voltages
+
+    def voltage(self, node: str) -> float:
+        """Previous-step voltage of one node (0.0 for ground)."""
+        if node == GROUND:
+            return 0.0
+        return float(self._voltages[self._node_index[node]])
+
+    def branch_current(self, component_name: str) -> float:
+        """Previous-step current of one branch-forming device."""
+        row = self._branch_rows[component_name]
+        index = row - self._n_nodes
+        if index >= len(self._branch):
+            return 0.0
+        return float(self._branch[index])
+
+    def source_level(self, component) -> float:
+        """The live drive level of an independent source at ``time``."""
+        waveform = self._waveforms.get(component.name)
+        return waveform(self.time) if waveform else component.dc
+
+
+class _RhsStampContext(StampContext):
+    """Write-only stamp context for the per-step RHS pass.
+
+    Branch rows were all allocated during the static companion assembly,
+    so this context only *looks up*; matrix entries are rejected loudly
+    (the companion matrix is constant by construction).
+    """
+
+    def __init__(
+        self,
+        node_index: Mapping[str, int],
+        branch_rows: Mapping[str, int],
+        rhs: np.ndarray,
+    ):
+        self._node_index = node_index
+        self._branch_rows = branch_rows
+        self._rhs = rhs
+
+    def index(self, node: str) -> int | None:
+        if node == GROUND:
+            return None
+        try:
+            return self._node_index[node]
+        except KeyError:
+            raise AnalogError(f"unknown node {node!r}") from None
+
+    def branch(self, tag: str) -> int:
+        try:
+            return self._branch_rows[tag]
+        except KeyError:
+            raise AnalogError(
+                f"component {tag!r} allocated no branch in the companion "
+                "system"
+            ) from None
+
+    def add(self, row: int | None, col: int | None, value: complex) -> None:
+        raise AnalogError(
+            "matrix entries cannot be stamped during the transient RHS "
+            "pass; put them in stamp_companion()"
+        )
+
+    def rhs(self, row: int | None, value: complex) -> None:
+        if row is None:
+            return
+        self._rhs[row] += value
+
+
 class TransientSolver:
-    """Backward-Euler transient analysis of a linear analog circuit."""
+    """Backward-Euler transient analysis of a linear analog circuit.
 
-    #: ideal op-amps are realized as very-high-gain VCVSs in transient
-    #: (the nullor stamp is fine too, but the finite gain keeps companion
-    #: bookkeeping uniform).
-    _IDEAL_GAIN = 1.0e7
+    ``backend`` selects the linear-system engine (``"auto"`` picks
+    sparse above the node-count threshold), exactly as for
+    :class:`repro.spice.MnaSolver`; the companion matrix is factorized
+    once and re-solved per timestep.
+    """
 
-    def __init__(self, circuit: AnalogCircuit):
+    #: conductance from every node to ground (mirrors MnaSolver.GMIN).
+    GMIN = 1.0e-12
+
+    def __init__(
+        self,
+        circuit: AnalogCircuit,
+        backend: str | LinearSystemBackend = "auto",
+    ):
         self.circuit = circuit
         self._node_index = {
             node: index for index, node in enumerate(circuit.nodes())
         }
         self._n_nodes = len(self._node_index)
+        self.backend = resolve_backend(backend, n_nodes=self._n_nodes)
+        self._patterns: dict[bytes, object] = {}
+        self._last_size: int | None = None
 
     # ------------------------------------------------------------------
     def run(
@@ -134,164 +264,58 @@ class TransientSolver:
         n_steps = int(round(t_stop / dt))
         times = np.arange(1, n_steps + 1) * dt
 
-        index = dict(self._node_index)
-        n_nodes = self._n_nodes
-
-        # Assign branch rows: voltage sources, inductors, ideal opamps,
-        # and VCVSs need branch unknowns.
-        branch_rows: dict[str, int] = {}
-        next_row = n_nodes
-        for component in self.circuit.components:
-            if isinstance(
-                component, (VoltageSource, Inductor, IdealOpAmp, VCVS)
-            ):
-                branch_rows[component.name] = next_row
-                next_row += 1
-        size = next_row
-
-        def node(n: str) -> int | None:
-            return None if n == GROUND else index[n]
-
-        # The system matrix is constant (linear circuit, fixed step):
-        # build it once; per-step only the RHS changes.
-        matrix = np.zeros((size, size))
+        # The companion matrix is constant (linear circuit, fixed step):
+        # stamp it once through the shared assembler and factorize with
+        # the selected backend; per-step only the RHS changes.
+        assembler = SystemAssembler(self._node_index, dtype=float)
+        values: list[float] = []
         for component in self.circuit.components:
             value = (
                 self.circuit.effective_value(component.name)
                 if component.has_value
                 else 0.0
             )
-            self._stamp_static(
-                matrix, node, branch_rows, component, value, dt
-            )
-        for diag in range(n_nodes):
-            matrix[diag, diag] += 1e-12  # GMIN
+            values.append(value)
+            component.stamp_companion(assembler, value, dt)
+        if assembler.size == 0:
+            raise AnalogError(f"circuit {self.circuit.name!r} is empty")
+        system = assembler.finish(gmin=self.GMIN)
+        self._last_size = system.size
         try:
-            factor = np.linalg.inv(matrix)
-        except np.linalg.LinAlgError as exc:
+            factorization = self.backend.factorize(system, self._patterns)
+        except SingularSystemError as exc:
             raise AnalogError(
                 f"singular transient system for {self.circuit.name!r}: {exc}"
             ) from exc
 
-        # State: previous node voltages and inductor branch currents.
-        voltages_prev = np.zeros(n_nodes)
+        branch_rows = assembler.branch_rows
+        state = TransientState(
+            self._node_index, branch_rows, source_waveforms, self._n_nodes
+        )
         if initial:
-            for name, level in initial.items():
-                if name != GROUND:
-                    voltages_prev[index[name]] = level
-        branch_prev = np.zeros(size - n_nodes)
+            state.set_initial(initial)
 
-        recorded = {name: np.zeros(n_steps) for name in index}
-        solution = np.zeros(size)
+        recorded = {
+            name: np.zeros(n_steps) for name in self._node_index
+        }
+        rhs = np.zeros(system.size)
+        rhs_ctx = _RhsStampContext(self._node_index, branch_rows, rhs)
+        components = self.circuit.components
         for step_index, t in enumerate(times):
-            rhs = np.zeros(size)
-            for component in self.circuit.components:
-                value = (
-                    self.circuit.effective_value(component.name)
-                    if component.has_value
-                    else 0.0
-                )
-                self._stamp_rhs(
-                    rhs, node, branch_rows, component, value, dt,
-                    voltages_prev, branch_prev, source_waveforms, t,
-                )
-            solution = factor @ rhs
-            voltages_prev = solution[:n_nodes]
-            branch_prev = solution[n_nodes:]
-            for name, node_index in index.items():
+            state.time = t
+            rhs[:] = 0.0
+            for component, value in zip(components, values):
+                component.stamp_companion_rhs(rhs_ctx, value, dt, state)
+            solution = factorization.solve(rhs)
+            state.advance(solution, t)
+            for name, node_index in self._node_index.items():
                 recorded[name][step_index] = solution[node_index]
         return TransientResult(times, recorded)
 
-    # ------------------------------------------------------------------
-    def _stamp_static(self, matrix, node, branch_rows, component, value, dt):
-        def add(i, j, v):
-            if i is not None and j is not None:
-                matrix[i, j] += v
-
-        if isinstance(component, Resistor):
-            g = 1.0 / value
-            i, j = node(component.n1), node(component.n2)
-            add(i, i, g); add(j, j, g); add(i, j, -g); add(j, i, -g)
-        elif isinstance(component, Capacitor):
-            g = value / dt  # companion conductance
-            i, j = node(component.n1), node(component.n2)
-            add(i, i, g); add(j, j, g); add(i, j, -g); add(j, i, -g)
-        elif isinstance(component, Inductor):
-            i, j = node(component.n1), node(component.n2)
-            b = branch_rows[component.name]
-            add(i, b, 1.0); add(j, b, -1.0)
-            add(b, i, 1.0); add(b, j, -1.0)
-            matrix[b, b] += -value / dt
-        elif isinstance(component, VoltageSource):
-            i, j = node(component.plus), node(component.minus)
-            b = branch_rows[component.name]
-            add(i, b, 1.0); add(j, b, -1.0)
-            add(b, i, 1.0); add(b, j, -1.0)
-        elif isinstance(component, CurrentSource):
-            pass  # RHS only
-        elif isinstance(component, VCVS):
-            op, om = node(component.out_plus), node(component.out_minus)
-            cp, cm = node(component.ctrl_plus), node(component.ctrl_minus)
-            b = branch_rows[component.name]
-            add(op, b, 1.0); add(om, b, -1.0)
-            add(b, op, 1.0); add(b, om, -1.0)
-            add(b, cp, -value); add(b, cm, value)
-        elif isinstance(component, VCCS):
-            op, om = node(component.out_plus), node(component.out_minus)
-            cp, cm = node(component.ctrl_plus), node(component.ctrl_minus)
-            add(op, cp, value); add(op, cm, -value)
-            add(om, cp, -value); add(om, cm, value)
-        elif isinstance(component, IdealOpAmp):
-            o = node(component.out)
-            ip, im = node(component.in_plus), node(component.in_minus)
-            b = branch_rows[component.name]
-            add(o, b, 1.0)
-            add(b, ip, 1.0); add(b, im, -1.0)
-        elif isinstance(component, FiniteOpAmp):
-            ip, im = node(component.in_plus), node(component.in_minus)
-            o = node(component.out)
-            g_in = 1.0 / component.r_in
-            add(ip, ip, g_in); add(im, im, g_in)
-            add(ip, im, -g_in); add(im, ip, -g_in)
-            g_out = 1.0 / component.r_out
-            gain = value  # DC gain; the single pole is ignored in the
-            # time-domain companion (dominant-pole dynamics of the
-            # surrounding RC network dominate at the bench's frequencies)
-            add(o, o, g_out)
-            add(o, ip, -gain * g_out)
-            add(o, im, gain * g_out)
-        else:  # pragma: no cover - new component types fail loudly
-            raise AnalogError(
-                f"transient solver cannot stamp {type(component).__name__}"
-            )
-
-    def _stamp_rhs(
-        self, rhs, node, branch_rows, component, value, dt,
-        voltages_prev, branch_prev, source_waveforms, t,
-    ):
-        def v_prev(n: str) -> float:
-            idx = node(n)
-            return 0.0 if idx is None else voltages_prev[idx]
-
-        def add(i, v):
-            if i is not None:
-                rhs[i] += v
-
-        if isinstance(component, Capacitor):
-            g = value / dt
-            history = g * (v_prev(component.n1) - v_prev(component.n2))
-            add(node(component.n1), history)
-            add(node(component.n2), -history)
-        elif isinstance(component, Inductor):
-            b = branch_rows[component.name]
-            i_prev = branch_prev[b - len(voltages_prev)]
-            rhs[b] += -(value / dt) * i_prev
-        elif isinstance(component, VoltageSource):
-            b = branch_rows[component.name]
-            waveform = source_waveforms.get(component.name)
-            rhs[b] += waveform(t) if waveform else component.dc
-        elif isinstance(component, CurrentSource):
-            waveform = source_waveforms.get(component.name)
-            level = waveform(t) if waveform else component.dc
-            add(node(component.plus), -level)
-            add(node(component.minus), level)
+    def stats(self) -> dict:
+        """Diagnostics of the most recent :meth:`run`."""
+        return {
+            "backend": self.backend.name,
+            "n_nodes": self._n_nodes,
+            "size": self._last_size,
+        }

@@ -1,0 +1,99 @@
+"""Backend selection through the facade: configs, session, CLI."""
+
+import pytest
+
+from repro.api import (
+    CampaignConfig,
+    ConfigError,
+    SessionConfig,
+    Workbench,
+)
+from repro.api.cli import build_parser
+
+
+class TestCampaignConfigBackend:
+    def test_defaults(self):
+        config = CampaignConfig()
+        assert config.backend == "auto"
+        assert config.factor_cache_size == 64
+
+    def test_backend_validated(self):
+        with pytest.raises(ConfigError, match="backend"):
+            CampaignConfig(backend="gpu")
+
+    def test_factor_cache_size_validated(self):
+        with pytest.raises(ConfigError, match="factor_cache_size"):
+            CampaignConfig(factor_cache_size=0)
+
+    def test_session_backend_validated(self):
+        with pytest.raises(ConfigError, match="backend"):
+            SessionConfig(backend="gpu")
+
+
+class TestSessionInjection:
+    def test_session_backend_flows_into_campaign_stage(self):
+        session = Workbench().session(
+            config=SessionConfig(
+                backend="sparse",
+                campaign=CampaignConfig(faults_per_element=1, seed=5),
+            )
+        )
+        result = session.run(
+            "fig4", stages=("sensitivity", "stimulus", "campaign")
+        )
+        assert result.campaign.diagnostics["backend"] == "sparse"
+        campaign_timing = [
+            t for t in result.timings if t.stage == "campaign"
+        ][0]
+        assert campaign_timing.backend == "sparse"
+        assert "[sparse]" in result.outcome.timing_table()
+
+    def test_explicit_campaign_backend_wins_over_session(self):
+        session = Workbench().session(
+            config=SessionConfig(backend="sparse")
+        )
+        result = session.run(
+            "fig4",
+            stages=("sensitivity", "stimulus", "campaign"),
+            campaign=CampaignConfig(
+                faults_per_element=1, seed=5, backend="dense"
+            ),
+        )
+        assert result.campaign.diagnostics["backend"] == "dense"
+
+    def test_auto_resolves_to_dense_for_fig4(self):
+        # fig4's analog block is far below the sparse threshold: the
+        # historical dense path must keep serving it.
+        session = Workbench().session(
+            campaign=CampaignConfig(faults_per_element=1, seed=5)
+        )
+        result = session.run(
+            "fig4", stages=("sensitivity", "stimulus", "campaign")
+        )
+        assert result.campaign.diagnostics["backend"] == "dense"
+
+
+class TestCliBackendFlag:
+    def test_campaign_accepts_backend(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig4", "--backend", "sparse"]
+        )
+        assert args.backend == "sparse"
+
+    def test_generate_accepts_backend(self):
+        args = build_parser().parse_args(
+            ["generate", "fig4", "--backend", "dense"]
+        )
+        assert args.backend == "dense"
+
+    def test_campaign_accepts_factor_cache_size(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig4", "--factor-cache-size", "8"]
+        )
+        assert args.factor_cache_size == 8
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "fig4", "--backend", "gpu"]
+            )
