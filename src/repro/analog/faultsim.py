@@ -32,6 +32,7 @@ from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from ..digital.compiled import CompiledCircuit
 from ..digital.simulate import simulate
 from ..spice import AnalogError, MnaSolver, UnitSource
 
@@ -176,7 +177,9 @@ class CampaignEngine:
 
     ``backend`` names the :mod:`repro.spice.backends` linear-system
     backend the engine's analog solves go through; ``factor_cache_size``
-    bounds the engine's factorization LRU.  After :meth:`run` returns,
+    bounds the engine's factorization LRU; ``digital_engine`` selects
+    the digital-response evaluator (the compiled levelized circuit or
+    the reference interpreter).  After :meth:`run` returns,
     :attr:`last_diagnostics` describes what actually ran (backend name,
     cache hit/miss counters) — use :func:`get_engine` to obtain a fresh
     instance per campaign so concurrent campaigns never share it.
@@ -196,6 +199,7 @@ class CampaignEngine:
         max_workers: int | None = None,
         backend: str = "auto",
         factor_cache_size: int | None = None,
+        digital_engine: str = "compiled",
     ) -> list[InjectionOutcome]:
         raise NotImplementedError
 
@@ -218,11 +222,16 @@ class ReferenceEngine(CampaignEngine):
         max_workers: int | None = None,
         backend: str = "auto",
         factor_cache_size: int | None = None,
+        digital_engine: str = "compiled",
     ) -> list[InjectionOutcome]:
-        # The oracle deliberately ignores the backend selector: its
-        # whole point is the unoptimized dense re-solve path the fast
-        # engine is checked against.
-        self.last_diagnostics = {"engine": self.name, "backend": "dense"}
+        # The oracle deliberately ignores the backend and digital-engine
+        # selectors: its whole point is the unoptimized re-solve and
+        # re-interpret path the fast engine is checked against.
+        self.last_diagnostics = {
+            "engine": self.name,
+            "backend": "dense",
+            "digital_engine": "reference",
+        }
         # Good-circuit codes are fault independent: compute once per
         # step, not once per (fault, step) pair.
         good_codes = [
@@ -296,6 +305,7 @@ class FactorizedEngine(CampaignEngine):
         max_workers: int | None = None,
         backend: str = "auto",
         factor_cache_size: int | None = None,
+        digital_engine: str = "compiled",
     ) -> list[InjectionOutcome]:
         if not faults:
             self.last_diagnostics = {"engine": self.name, "backend": None}
@@ -305,6 +315,16 @@ class FactorizedEngine(CampaignEngine):
         digital_outputs = tuple(mixed.digital.outputs)
         converter_lines = tuple(mixed.converter_lines)
         thresholds = tuple(mixed.adc.thresholds())
+        if digital_engine == "compiled":
+            # Levelized single-pattern evaluation: no per-call
+            # topological re-walk or per-signal dict for the (step,
+            # faulty code) response memo below.
+            compiled = CompiledCircuit.compile(mixed.digital)
+            respond = compiled.evaluate_outputs
+        else:
+            def respond(assignment: dict) -> tuple[int, ...]:
+                response = simulate(mixed.digital, assignment)
+                return tuple(response[o] for o in digital_outputs)
         with _UnitSource(circuit, mixed.analog_source):
             solver = MnaSolver(
                 circuit,
@@ -334,10 +354,7 @@ class FactorizedEngine(CampaignEngine):
                 assignment = dict(step.vector)
                 for line, bit in zip(converter_lines, code):
                     assignment[line] = bit
-                response = simulate(mixed.digital, assignment)
-                good_words.append(
-                    tuple(response[o] for o in digital_outputs)
-                )
+                good_words.append(respond(assignment))
             orders = {
                 element: step_order(steps, element)
                 for element in {fault.element for fault in faults}
@@ -374,13 +391,7 @@ class FactorizedEngine(CampaignEngine):
                         assignment = dict(step.vector)
                         for line, bit in zip(converter_lines, code):
                             assignment[line] = bit
-                        response = simulate(mixed.digital, assignment)
-                        hit = any(
-                            response[o] != word
-                            for o, word in zip(
-                                digital_outputs, good_words[index]
-                            )
-                        )
+                        hit = respond(assignment) != good_words[index]
                         detect_memo[detect_key] = hit
                     if hit:
                         return True, step.element
@@ -396,6 +407,7 @@ class FactorizedEngine(CampaignEngine):
                 verdicts = [evaluate(fault) for fault in faults]
         self.last_diagnostics = {
             "engine": self.name,
+            "digital_engine": digital_engine,
             **solver.cache_stats(),
         }
         return [

@@ -19,6 +19,7 @@ everything else loads on first attribute access.
 
 from .config import (
     CAMPAIGN_ENGINES,
+    DIGITAL_ENGINES,
     SIM_BACKENDS,
     AtpgConfig,
     CampaignConfig,
@@ -31,6 +32,7 @@ from .config import (
 __all__ = [
     "AtpgConfig",
     "CAMPAIGN_ENGINES",
+    "DIGITAL_ENGINES",
     "SIM_BACKENDS",
     "CampaignConfig",
     "ConfigError",

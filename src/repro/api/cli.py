@@ -20,7 +20,9 @@ from collections.abc import Sequence
 
 from .config import (
     CAMPAIGN_ENGINES,
+    DIGITAL_ENGINES,
     SIM_BACKENDS,
+    AtpgConfig,
     CampaignConfig,
     ConfigError,
     GeneratorConfig,
@@ -114,6 +116,11 @@ def _add_generator_options(parser: argparse.ArgumentParser) -> None:
         "(auto picks sparse above the node-count threshold)",
     )
     parser.add_argument(
+        "--digital-engine", choices=DIGITAL_ENGINES, default=None,
+        help="digital fault-simulation engine (compiled cone-limited "
+        "fast path or the reference interpreter)",
+    )
+    parser.add_argument(
         "--no-digital", action="store_true",
         help="skip the digital ATPG stage",
     )
@@ -131,6 +138,12 @@ def _generator_config(args: argparse.Namespace) -> GeneratorConfig:
         include_digital=False if args.no_digital else None,
         include_unconstrained=True if args.unconstrained else None,
     )
+
+
+def _atpg_config(args: argparse.Namespace) -> AtpgConfig | None:
+    if args.digital_engine is None:
+        return None  # let session/config defaults apply
+    return AtpgConfig().with_overrides(engine=args.digital_engine)
 
 
 def _stages(args: argparse.Namespace) -> tuple[str, ...] | None:
@@ -155,8 +168,10 @@ def _cmd_list(wb: Workbench, args: argparse.Namespace) -> int:
 
 def _cmd_generate(wb: Workbench, args: argparse.Namespace) -> int:
     campaign = (
-        CampaignConfig().with_overrides(backend=args.backend)
-        if args.backend is not None
+        CampaignConfig().with_overrides(
+            backend=args.backend, digital_engine=args.digital_engine
+        )
+        if args.backend is not None or args.digital_engine is not None
         else None
     )
     result = wb.generate(
@@ -164,6 +179,7 @@ def _cmd_generate(wb: Workbench, args: argparse.Namespace) -> int:
         stages=_stages(args),
         generator=_generator_config(args),
         campaign=campaign,
+        atpg=_atpg_config(args),
     )
     print(result.summary())
     if args.json:
@@ -184,9 +200,13 @@ def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
         max_workers=args.campaign_workers,
         backend=args.backend,
         factor_cache_size=args.factor_cache_size,
+        digital_engine=args.digital_engine,
     )
     result = wb.campaign(
-        args.circuit, campaign=campaign, generator=_generator_config(args)
+        args.circuit,
+        campaign=campaign,
+        generator=_generator_config(args),
+        atpg=_atpg_config(args),
     )
     print(result.summary())
     if args.json:

@@ -34,6 +34,12 @@ CAMPAIGN_ENGINES = ("factorized", "reference")
 #: ``"auto"`` picks sparse at/above the node-count threshold.
 SIM_BACKENDS = ("auto", "dense", "sparse")
 
+#: digital fault-simulation engines (must mirror
+#: ``repro.digital.simulate.DIGITAL_ENGINES``; the test suite
+#: cross-checks).  ``"compiled"`` is the levelized cone-limited fast
+#: path; ``"reference"`` the whole-circuit oracle interpreter.
+DIGITAL_ENGINES = ("compiled", "reference")
+
 
 class ConfigError(ValueError):
     """A configuration value is out of range or inconsistent."""
@@ -151,6 +157,11 @@ class CampaignConfig(_Replaceable):
         factor_cache_size: LRU bound on retained LU factorizations in
             the campaign's solver (one per distinct stimulus
             frequency × deviation state).
+        digital_engine: digital-response evaluator inside the fast
+            campaign engine — ``"compiled"`` (levelized single-pattern
+            evaluation, the default) or ``"reference"`` (the classic
+            dict-walking interpreter).  The ``"reference"`` *campaign*
+            engine always uses the interpreter: it is the oracle.
     """
 
     faults_per_element: int = 6
@@ -160,6 +171,7 @@ class CampaignConfig(_Replaceable):
     max_workers: int | None = None
     backend: str = "auto"
     factor_cache_size: int = 64
+    digital_engine: str = "compiled"
 
     def __post_init__(self) -> None:
         _require(
@@ -193,6 +205,11 @@ class CampaignConfig(_Replaceable):
             "factor_cache_size must be >= 1, got "
             f"{self.factor_cache_size!r}",
         )
+        _require(
+            self.digital_engine in DIGITAL_ENGINES,
+            f"digital_engine must be one of {DIGITAL_ENGINES}, got "
+            f"{self.digital_engine!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -205,17 +222,30 @@ class AtpgConfig(_Replaceable):
         collapse: equivalence-collapse the default fault universe.
         constrained: apply the conversion block's thermometer ``Fc``
             (mixed-circuit case); ``False`` tests the block stand-alone.
+        engine: digital fault-simulation engine behind compaction and
+            vector verification — the compiled cone-limited fast path
+            or the reference interpreter (identical vector lists).
+        simulation_check: cross-check every generated vector by
+            fault-simulating it against its target fault (cheap with
+            the compiled engine; raises on disagreement between the
+            BDD algebra and the simulator).
     """
 
     ordering: str = "fanin"
     compact: bool = True
     collapse: bool = True
     constrained: bool = True
+    engine: str = "compiled"
+    simulation_check: bool = False
 
     def __post_init__(self) -> None:
         _require(
             self.ordering in BDD_ORDERINGS,
             f"ordering must be one of {BDD_ORDERINGS}, got {self.ordering!r}",
+        )
+        _require(
+            self.engine in DIGITAL_ENGINES,
+            f"engine must be one of {DIGITAL_ENGINES}, got {self.engine!r}",
         )
 
 
@@ -231,6 +261,9 @@ class SessionConfig(_Replaceable):
             per batch entry, capped by the interpreter's CPU count).
         backend: session-wide linear-system backend; injected into the
             campaign config when that is left at ``"auto"``.
+        digital_engine: session-wide digital fault-simulation engine;
+            injected into the atpg and campaign configs when those are
+            left at the ``"compiled"`` default.
     """
 
     generator: GeneratorConfig = GeneratorConfig()
@@ -238,6 +271,7 @@ class SessionConfig(_Replaceable):
     atpg: AtpgConfig = AtpgConfig()
     max_workers: int | None = None
     backend: str = "auto"
+    digital_engine: str = "compiled"
 
     def __post_init__(self) -> None:
         _require(
@@ -247,4 +281,9 @@ class SessionConfig(_Replaceable):
         _require(
             self.backend in SIM_BACKENDS,
             f"backend must be one of {SIM_BACKENDS}, got {self.backend!r}",
+        )
+        _require(
+            self.digital_engine in DIGITAL_ENGINES,
+            f"digital_engine must be one of {DIGITAL_ENGINES}, got "
+            f"{self.digital_engine!r}",
         )

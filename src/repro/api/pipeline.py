@@ -80,9 +80,10 @@ _REQUIRES = {"campaign": "stimulus"}
 class StageTiming:
     """Wall-clock cost of one executed stage.
 
-    ``backend`` names the linear-system backend the stage's analog
-    solves actually ran on, when the stage reports one (currently the
-    campaign stage); ``None`` otherwise.
+    ``backend`` names the engine the stage's solves actually ran on,
+    when the stage reports one — the linear-system backend for the
+    campaign stage, the digital fault-simulation engine for the atpg
+    stage; ``None`` otherwise.
     """
 
     stage: str
@@ -261,6 +262,10 @@ class Pipeline:
             backend = None
             if name == "campaign" and ctx.campaign is not None:
                 backend = (ctx.campaign.diagnostics or {}).get("backend")
+            elif name == "atpg" and ctx.report.digital_run is not None:
+                backend = (ctx.report.digital_run.diagnostics or {}).get(
+                    "digital_engine"
+                )
             timings.append(
                 StageTiming(name, time.perf_counter() - start, backend)
             )

@@ -232,6 +232,15 @@ class TestSession:
             # Session-wide backend choice flows into the campaign stage
             # unless the campaign config pinned one explicitly.
             campaign = campaign.replace(backend=self.config.backend)
+        if self.config.digital_engine != "compiled":
+            # Session-wide digital-engine choice flows into the atpg and
+            # campaign stages unless those configs pinned one already.
+            if atpg.engine == "compiled":
+                atpg = atpg.replace(engine=self.config.digital_engine)
+            if campaign.digital_engine == "compiled":
+                campaign = campaign.replace(
+                    digital_engine=self.config.digital_engine
+                )
         pipeline = Pipeline(stages)
         if pooled:
             self._checkout_bdd(mixed, atpg.ordering)

@@ -1,7 +1,12 @@
 """Constrained, backtrack-free BDD ATPG (reproduction of BDD_FTEST + §2.2/2.3)."""
 
 from .ckt2bdd import CircuitBdd, build_gate
-from .stuckat import StuckAtGenerator, TestResult, TestStatus
+from .stuckat import (
+    SimulationCheckError,
+    StuckAtGenerator,
+    TestResult,
+    TestStatus,
+)
 from .composite import (
     CompositePropagation,
     CompositeValue,
@@ -15,11 +20,18 @@ from .random_gen import (
     random_coverage_curve,
     random_patterns,
 )
-from .vectors import AnalogStimulus, DigitalVector, MixedTestStep, format_program
+from .vectors import (
+    AnalogStimulus,
+    DigitalVector,
+    MixedTestStep,
+    format_program,
+    patterns_from_vectors,
+)
 
 __all__ = [
     "CircuitBdd",
     "build_gate",
+    "SimulationCheckError",
     "StuckAtGenerator",
     "TestResult",
     "TestStatus",
@@ -38,4 +50,5 @@ __all__ = [
     "DigitalVector",
     "MixedTestStep",
     "format_program",
+    "patterns_from_vectors",
 ]

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from ..api.config import AtpgConfig
 from ..bdd.manager import TRUE, BddManager
 from ..bdd.ops import constraint_from_terms
+from ..digital.compiled import CompiledFaultSimulator
 from ..digital.faults import Fault, collapse_faults, fault_universe
 from ..digital.netlist import Circuit
 from ..digital.simulate import compact_vectors
@@ -37,6 +38,10 @@ class AtpgRun:
     results: list[TestResult] = field(default_factory=list)
     vectors: list[dict[str, int]] = field(default_factory=list)
     cpu_seconds: float = 0.0
+    #: engine/cache observability of the run (digital fault-sim engine,
+    #: compaction counters, BDD cache stats); excluded from equality so
+    #: runs compare by what they produced, not how fast they produced it.
+    diagnostics: dict | None = field(default=None, compare=False)
 
     @property
     def n_untestable(self) -> int:
@@ -147,7 +152,12 @@ def run_atpg(
     if cbdd is None:
         cbdd = CircuitBdd(circuit, ordering=config.ordering)
     fc = TRUE if constraint is None else constraint(cbdd.mgr)
-    generator = StuckAtGenerator(cbdd, constraint=fc)
+    generator = StuckAtGenerator(
+        cbdd,
+        constraint=fc,
+        simulation_check=config.simulation_check,
+        engine=config.engine,
+    )
     results = [generator.generate(fault) for fault in faults]
     raw_vectors = [r.vector for r in results if r.vector is not None]
     # Deduplicate while preserving order; distinct faults frequently share
@@ -159,9 +169,20 @@ def run_atpg(
         if key not in seen:
             seen.add(key)
             unique.append(vector)
+    faultsim_stats: dict | None = None
     if compact and unique:
         detected = [r.fault for r in results if r.status is TestStatus.DETECTED]
-        vectors = compact_vectors(circuit, unique, detected)
+        if config.engine == "compiled":
+            # The engine object keeps the single-pass compaction
+            # diagnostics the plain function would discard.
+            simulator = CompiledFaultSimulator(circuit)
+            vectors = simulator.compact(unique, detected)
+            if simulator.last_diagnostics is not None:
+                faultsim_stats = simulator.last_diagnostics.as_dict()
+        else:
+            vectors = compact_vectors(
+                circuit, unique, detected, engine=config.engine
+            )
     else:
         vectors = unique
     elapsed = time.perf_counter() - start
@@ -174,4 +195,10 @@ def run_atpg(
         results=results,
         vectors=vectors,
         cpu_seconds=elapsed,
+        diagnostics={
+            "digital_engine": config.engine,
+            "simulation_checks": generator.simulation_checks,
+            "compaction": faultsim_stats,
+            "bdd": cbdd.mgr.cache_stats(),
+        },
     )

@@ -141,18 +141,47 @@ def random_coverage_curve(
     pattern_budgets: Sequence[int],
     seed: int,
     patterns: Sequence[dict[str, int]] | None = None,
+    engine: str = "compiled",
 ) -> list[tuple[int, float]]:
     """Fault coverage after the first N patterns, for each budget.
 
     ``patterns`` may be pre-sampled (e.g. constrained ones); otherwise
-    uniform patterns are drawn.
+    uniform patterns are drawn.  With the compiled engine the whole
+    curve comes from *one* forward fault-simulation pass (with fault
+    dropping): a fault is covered at budget N exactly when its first
+    detecting pattern index is below N.  The reference engine re-runs
+    the fault simulator per budget, as the original implementation did.
     """
     budgets = sorted(pattern_budgets)
     if patterns is None:
         patterns = random_patterns(circuit, budgets[-1], seed)
+    if engine == "compiled":
+        from ..digital.compiled import CompiledFaultSimulator
+
+        simulator = CompiledFaultSimulator(circuit)
+        first = simulator.first_detection(
+            list(patterns[: budgets[-1]]), faults
+        )
+        total = len(first)
+        return [
+            (
+                budget,
+                sum(
+                    1
+                    for index in first.values()
+                    if index is not None and index < budget
+                )
+                / total
+                if total
+                else 1.0,
+            )
+            for budget in budgets
+        ]
     curve: list[tuple[int, float]] = []
     for budget in budgets:
-        detected = fault_simulate(circuit, list(patterns[:budget]), faults)
+        detected = fault_simulate(
+            circuit, list(patterns[:budget]), faults, engine=engine
+        )
         coverage = (
             sum(detected.values()) / len(detected) if detected else 1.0
         )

@@ -25,9 +25,25 @@ from enum import Enum
 from ..bdd.manager import FALSE, TRUE
 from ..bdd.ops import minimize_path
 from ..digital.faults import Fault
+from ..digital.simulate import fault_simulate
 from .ckt2bdd import CircuitBdd
 
-__all__ = ["TestStatus", "TestResult", "StuckAtGenerator"]
+__all__ = [
+    "TestStatus",
+    "TestResult",
+    "StuckAtGenerator",
+    "SimulationCheckError",
+]
+
+
+class SimulationCheckError(AssertionError):
+    """The BDD test algebra and the fault simulator disagreed.
+
+    Raised only under ``simulation_check=True``: a generated vector,
+    replayed through the (cone-limited) fault simulator, failed to
+    detect its target fault — which means a bug in one of the two
+    independent implementations.
+    """
 
 
 class TestStatus(str, Enum):
@@ -67,6 +83,12 @@ class StuckAtGenerator:
             an unconstrained circuit).
         count_vectors: when true, each result carries ``test_set_size``
             (exponential-free — BDD sat-count).
+        simulation_check: replay every generated vector through the
+            fault simulator and raise :class:`SimulationCheckError` if
+            it fails to detect its target fault.  Cheap with the
+            compiled engine — one cone-limited faulty pass per vector.
+        engine: :data:`repro.digital.simulate.DIGITAL_ENGINES` member
+            used for the replay.
     """
 
     def __init__(
@@ -74,11 +96,17 @@ class StuckAtGenerator:
         cbdd: CircuitBdd,
         constraint: int = TRUE,
         count_vectors: bool = False,
+        simulation_check: bool = False,
+        engine: str = "compiled",
     ):
         self.cbdd = cbdd
         self.mgr = cbdd.mgr
         self.constraint = constraint
         self.count_vectors = count_vectors
+        self.simulation_check = simulation_check
+        self.engine = engine
+        #: vectors replayed through the fault simulator so far.
+        self.simulation_checks = 0
         self._n_inputs = len(cbdd.circuit.inputs)
         # Propagation is polarity-independent, so s-a-0/s-a-1 on the same
         # site share one Boolean-difference computation.
@@ -144,6 +172,17 @@ class StuckAtGenerator:
         vector = minimize_path(self.mgr, s)
         assert vector is not None
         full_vector = self._complete(vector)
+        if self.simulation_check:
+            self.simulation_checks += 1
+            replay = fault_simulate(
+                self.cbdd.circuit, [full_vector], [fault], engine=self.engine
+            )
+            if not replay[fault]:
+                raise SimulationCheckError(
+                    f"BDD algebra produced vector {full_vector} for fault "
+                    f"{fault}, but the {self.engine!r} fault simulator "
+                    "does not see a detection"
+                )
         observing = tuple(
             out
             for out, diff in per_output.items()

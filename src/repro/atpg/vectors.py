@@ -12,7 +12,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
-__all__ = ["DigitalVector", "AnalogStimulus", "MixedTestStep", "format_program"]
+__all__ = [
+    "DigitalVector",
+    "AnalogStimulus",
+    "MixedTestStep",
+    "format_program",
+    "patterns_from_vectors",
+]
 
 
 @dataclass(frozen=True)
@@ -32,6 +38,15 @@ class DigitalVector:
     def as_dict(self) -> dict[str, int]:
         """The assignment as a plain dict."""
         return dict(self.assignment)
+
+    def bits(self, inputs: Iterable[str]) -> tuple[int, ...]:
+        """The assignment as bits in ``inputs`` order (0 for unbound).
+
+        The row layout the compiled fault-simulation engine packs into
+        its ``uint64`` pattern words.
+        """
+        mapping = dict(self.assignment)
+        return tuple(mapping.get(name, 0) & 1 for name in inputs)
 
     def __str__(self) -> str:
         bits = " ".join(f"{name}={value}" for name, value in self.assignment)
@@ -77,6 +92,25 @@ class MixedTestStep:
             expected = "" if self.expected is None else f" (good = {self.expected})"
             parts.append(f"observe {self.observe}{expected}")
         return "; ".join(parts)
+
+
+def patterns_from_vectors(
+    vectors: Iterable["DigitalVector | Mapping[str, int]"],
+) -> list[dict[str, int]]:
+    """Normalize vector records to the plain assignment dicts that
+    ``fault_simulate``/``compact_vectors`` (and the compiled engine's
+    pattern packer) consume.
+
+    Accepts a mix of :class:`DigitalVector` records and raw mappings, so
+    emitted programs can be fault-graded without manual unwrapping.
+    """
+    patterns: list[dict[str, int]] = []
+    for vector in vectors:
+        if isinstance(vector, DigitalVector):
+            patterns.append(vector.as_dict())
+        else:
+            patterns.append(dict(vector))
+    return patterns
 
 
 def format_program(steps: Iterable[MixedTestStep], title: str = "test program") -> str:

@@ -22,6 +22,7 @@ for ISCAS85-class circuits with a fan-in variable ordering.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 __all__ = ["BddManager", "FALSE", "TRUE", "BddError"]
@@ -55,14 +56,33 @@ class BddManager:
         assert mgr.evaluate(f, {"a": 1, "b": 0}) == 1
     """
 
-    def __init__(self, variables: Iterable[object] = ()):
+    def __init__(
+        self,
+        variables: Iterable[object] = (),
+        ite_cache_size: int | None = None,
+    ):
         # Parallel arrays for node storage: level, low child, high child.
         # Slots 0 and 1 are the terminals (their children are themselves).
         self._level = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
         self._lo = [0, 1]
         self._hi = [0, 1]
         self._unique: dict[tuple[int, int, int], int] = {}
-        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        if ite_cache_size is not None and ite_cache_size < 1:
+            raise BddError(
+                f"ite_cache_size must be None or >= 1, got {ite_cache_size!r}"
+            )
+        # ``ite_cache_size`` bounds the memo table (LRU eviction, like
+        # the analog solver's ``factor_cache_size``); ``None`` keeps the
+        # historical unbounded behaviour.  An OrderedDict only when
+        # bounded — recency bookkeeping costs on the hot path otherwise.
+        self._ite_cache_size = ite_cache_size
+        self._ite_cache: dict[tuple[int, int, int], int] = (
+            OrderedDict() if ite_cache_size is not None else {}
+        )
+        self._unique_hits = 0
+        self._unique_misses = 0
+        self._ite_hits = 0
+        self._ite_misses = 0
         self._name_to_level: dict[object, int] = {}
         self._level_to_name: list[object] = []
         for name in variables:
@@ -134,7 +154,9 @@ class BddManager:
         key = (level, lo, hi)
         found = self._unique.get(key)
         if found is not None:
+            self._unique_hits += 1
             return found
+        self._unique_misses += 1
         node = len(self._level)
         self._level.append(level)
         self._lo.append(lo)
@@ -177,10 +199,31 @@ class BddManager:
         key = (f, g, h)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            # Hit bookkeeping only: a miss here is re-probed (and then
+            # counted, exactly once) by the root frame of _ite_rec.
+            self._ite_hits += 1
+            if self._ite_cache_size is not None:
+                self._ite_cache.move_to_end(key)
             return cached
-        result = self._ite_rec(f, g, h)
-        self._ite_cache[key] = result
-        return result
+        return self._ite_rec(f, g, h)
+
+    def _cache_get(self, key: tuple[int, int, int]) -> int | None:
+        cached = self._ite_cache.get(key)
+        if cached is None:
+            self._ite_misses += 1
+            return None
+        self._ite_hits += 1
+        if self._ite_cache_size is not None:
+            self._ite_cache.move_to_end(key)
+        return cached
+
+    def _cache_put(self, key: tuple[int, int, int], node: int) -> None:
+        self._ite_cache[key] = node
+        if (
+            self._ite_cache_size is not None
+            and len(self._ite_cache) > self._ite_cache_size
+        ):
+            self._ite_cache.popitem(last=False)
 
     def _ite_rec(self, f: int, g: int, h: int) -> int:
         # Iterative depth-first evaluation with an explicit stack to avoid
@@ -206,7 +249,7 @@ class BddManager:
                     results.append(cf)
                     continue
                 ckey = (cf, cg, ch)
-                cached = self._ite_cache.get(ckey)
+                cached = self._cache_get(ckey)
                 if cached is not None:
                     results.append(cached)
                     continue
@@ -222,7 +265,7 @@ class BddManager:
                 hi = results.pop()
                 lo = results.pop()
                 node = self._node(level, lo, hi)
-                self._ite_cache[ckey] = node
+                self._cache_put(ckey, node)
                 results.append(node)
         return results[-1]
 
@@ -548,3 +591,20 @@ class BddManager:
     def clear_operation_cache(self) -> None:
         """Drop the ite memo table (nodes are kept)."""
         self._ite_cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Unique-table and ite-cache hit/miss counters and sizes.
+
+        The BDD counterpart of the analog solver's ``cache_stats`` —
+        surfaced through ATPG diagnostics so regressions in memoization
+        behaviour are observable rather than just slow.
+        """
+        return {
+            "nodes": len(self._level),
+            "unique_hits": self._unique_hits,
+            "unique_misses": self._unique_misses,
+            "ite_size": len(self._ite_cache),
+            "ite_bound": self._ite_cache_size,
+            "ite_hits": self._ite_hits,
+            "ite_misses": self._ite_misses,
+        }

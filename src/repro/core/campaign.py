@@ -43,6 +43,7 @@ def run_campaign(
     seed: int | None = None,
     engine: str | None = None,
     backend: str | None = None,
+    digital_engine: str | None = None,
     config: CampaignConfig | None = None,
 ) -> CampaignResult:
     """Inject seeded analog faults and execute the emitted program.
@@ -59,9 +60,11 @@ def run_campaign(
     ``engine`` selects the :mod:`repro.analog.faultsim` implementation
     (``"factorized"`` fast path or the ``"reference"`` oracle);
     ``backend`` the :mod:`repro.spice.backends` linear-system backend
-    the engine's analog solves run on.  The returned result's
-    ``diagnostics`` records which backend actually ran and the
-    factorization-cache hit/miss counters.
+    the engine's analog solves run on; ``digital_engine`` the digital
+    response evaluator inside the fast engine (``"compiled"``
+    levelized circuit or the ``"reference"`` interpreter).  The
+    returned result's ``diagnostics`` records which backend/engines
+    actually ran and the factorization-cache hit/miss counters.
     """
     config = (config if config is not None else CampaignConfig()).with_overrides(
         faults_per_element=faults_per_element,
@@ -69,6 +72,7 @@ def run_campaign(
         seed=seed,
         engine=engine,
         backend=backend,
+        digital_engine=digital_engine,
     )
     rng = random.Random(config.seed)
     testable = [t for t in report.analog_tests if t.testable]
@@ -83,6 +87,7 @@ def run_campaign(
         max_workers=config.max_workers,
         backend=config.backend,
         factor_cache_size=config.factor_cache_size,
+        digital_engine=config.digital_engine,
     )
     return CampaignResult(
         outcomes=outcomes, diagnostics=engine_instance.last_diagnostics

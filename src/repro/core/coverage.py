@@ -79,6 +79,43 @@ class MixedTestReport:
 
     # ------------------------------------------------------------------
     @property
+    def digital_diagnostics(self) -> dict | None:
+        """Engine/cache observability of the digital ATPG run.
+
+        ``None`` for reports without a digital run or reports decoded
+        from artifacts (which archive only the headline statistics).
+        """
+        if self.digital_run is None:
+            return None
+        return getattr(self.digital_run, "diagnostics", None)
+
+    def grade_digital(
+        self,
+        circuit,
+        faults: list | None = None,
+        engine: str = "compiled",
+    ) -> float:
+        """Independently fault-grade the emitted digital vector set.
+
+        Replays the ATPG stage's (compacted) vectors through the named
+        fault-simulation engine — the compiled cone-limited path by
+        default — against ``faults`` (default: the collapsed universe
+        the ATPG itself targeted).  This measures the paper's ``#vect``
+        claim with a simulator that shares no code with the BDD algebra
+        that produced the vectors.
+        """
+        from ..digital.faults import collapse_faults, fault_universe
+        from ..digital.simulate import coverage as fault_coverage
+
+        if self.digital_run is None:
+            raise ValueError("report has no digital ATPG run to grade")
+        if faults is None:
+            faults = collapse_faults(circuit, fault_universe(circuit))
+        return fault_coverage(
+            circuit, self.digital_run.vectors, faults, engine=engine
+        )
+
+    @property
     def n_analog_testable(self) -> int:
         """Analog elements with a complete test recipe."""
         return sum(1 for t in self.analog_tests if t.testable)

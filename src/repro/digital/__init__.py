@@ -11,12 +11,18 @@ from .faults import (
     stem_fault,
 )
 from .simulate import (
+    DIGITAL_ENGINES,
     compact_vectors,
     coverage,
     fault_simulate,
     simulate,
     simulate_patterns,
     simulate_with_fault,
+)
+from .compiled import (
+    CompiledCircuit,
+    CompiledFaultSimulator,
+    FaultSimDiagnostics,
 )
 from .iscas import parse_bench, parse_bench_file, write_bench
 from .synth import ISCAS85_SPECS, SynthSpec, iscas85_like, synthesize
@@ -49,6 +55,10 @@ __all__ = [
     "fault_simulate",
     "compact_vectors",
     "coverage",
+    "DIGITAL_ENGINES",
+    "CompiledCircuit",
+    "CompiledFaultSimulator",
+    "FaultSimDiagnostics",
     "EquivalenceResult",
     "check_equivalent",
     "parse_bench",

@@ -5,6 +5,22 @@ Python integer whose bit *i* is the logic value under input pattern *i*.
 This gives 64-and-beyond-way pattern parallelism for free and is the
 workhorse behind fault-coverage measurement and test-set compaction
 (the ``#vect`` column of the paper's Table 4).
+
+Two engines sit behind ``fault_simulate``/``compact_vectors``/
+``coverage``:
+
+* ``"compiled"`` (the default) — the levelized, cone-limited,
+  multi-word engine of :mod:`repro.digital.compiled`: a fault only
+  re-evaluates gates inside its fan-out cone, batches are numpy
+  ``uint64`` word vectors (>64 patterns per pass), and compaction reads
+  a per-vector detection bitmap recorded in a single forward pass.
+* ``"reference"`` — the original whole-circuit interpreter below, kept
+  as the oracle the differential suite checks the compiled engine
+  against (mirroring the analog engine split of
+  :mod:`repro.analog.faultsim`).
+
+Both produce identical detection maps and identical compacted vector
+lists.
 """
 
 from __future__ import annotations
@@ -16,6 +32,8 @@ from .gates import GateType, evaluate_gate
 from .netlist import Circuit
 
 __all__ = [
+    "DIGITAL_ENGINES",
+    "DEFAULT_WORD_SIZE",
     "simulate",
     "simulate_patterns",
     "simulate_with_fault",
@@ -23,6 +41,22 @@ __all__ = [
     "compact_vectors",
     "coverage",
 ]
+
+#: fault-simulation engines behind the digital hot path (mirrored by
+#: ``repro.api.config.DIGITAL_ENGINES``; the test suite cross-checks).
+DIGITAL_ENGINES = ("compiled", "reference")
+
+#: patterns per simulation pass — multiple 64-bit words for the
+#: compiled engine, one arbitrary-width Python word for the reference.
+DEFAULT_WORD_SIZE = 256
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in DIGITAL_ENGINES:
+        raise ValueError(
+            f"unknown digital fault-simulation engine {engine!r}; "
+            f"known: {', '.join(DIGITAL_ENGINES)}"
+        )
 
 
 def simulate(circuit: Circuit, assignment: Mapping[str, int]) -> dict[str, int]:
@@ -94,19 +128,32 @@ def fault_simulate(
     circuit: Circuit,
     patterns: Sequence[Mapping[str, int]],
     faults: Iterable[Fault],
-    word_size: int = 64,
+    word_size: int = DEFAULT_WORD_SIZE,
+    engine: str = "compiled",
 ) -> dict[Fault, bool]:
     """Which faults does the pattern set detect?
 
-    Runs good/faulty parallel-pattern simulation ``word_size`` patterns at
-    a time and compares primary outputs.  Returns a detection flag per
-    fault.
+    Runs good/faulty parallel-pattern simulation ``word_size`` patterns
+    at a time and compares primary outputs, dropping detected faults
+    across batches.  Returns a detection flag per fault.  ``engine``
+    selects the compiled cone-limited fast path or the reference
+    whole-circuit interpreter (identical results).
     """
+    _check_engine(engine)
+    if engine == "compiled":
+        from .compiled import CompiledFaultSimulator
+
+        return CompiledFaultSimulator(circuit, word_size).fault_simulate(
+            patterns, faults
+        )
     faults = list(faults)
     detected: dict[Fault, bool] = {f: False for f in faults}
     for start in range(0, len(patterns), word_size):
         chunk = patterns[start : start + word_size]
         n = len(chunk)
+        # One chunk mask, hoisted out of the per-fault loop; the packed
+        # input words (and thus every simulated word) already honour it.
+        chunk_mask = (1 << n) - 1
         input_words = _pack(circuit.inputs, chunk)
         good = simulate_patterns(circuit, input_words, n)
         good_outputs = [good[o] for o in circuit.outputs]
@@ -115,7 +162,7 @@ def fault_simulate(
                 continue
             bad = simulate_with_fault(circuit, input_words, n, fault)
             for good_word, out in zip(good_outputs, circuit.outputs):
-                if (good_word ^ bad[out]) & ((1 << n) - 1):
+                if (good_word ^ bad[out]) & chunk_mask:
                     detected[fault] = True
                     break
     return detected
@@ -125,22 +172,38 @@ def compact_vectors(
     circuit: Circuit,
     vectors: Sequence[Mapping[str, int]],
     faults: Iterable[Fault],
+    engine: str = "compiled",
 ) -> list[Mapping[str, int]]:
     """Reverse-order fault-simulation compaction.
 
     Classic trick: walk the deterministic vector list backwards, keep a
     vector only if it detects a fault not already covered by the kept set.
     This is what keeps the paper's ``#vect`` column well below the fault
-    count.
+    count.  The compiled engine records a per-vector detection bitmap in
+    one forward pass instead of re-running the fault simulator per
+    vector; the kept list is identical.
     """
-    remaining = {f for f, hit in fault_simulate(circuit, vectors, faults).items() if hit}
+    _check_engine(engine)
+    if engine == "compiled":
+        from .compiled import CompiledFaultSimulator
+
+        return CompiledFaultSimulator(circuit).compact(vectors, faults)
+    remaining = {
+        f
+        for f, hit in fault_simulate(
+            circuit, vectors, faults, engine=engine
+        ).items()
+        if hit
+    }
     kept: list[Mapping[str, int]] = []
     for vector in reversed(list(vectors)):
         if not remaining:
             break
         hits = {
             f
-            for f, hit in fault_simulate(circuit, [vector], remaining).items()
+            for f, hit in fault_simulate(
+                circuit, [vector], remaining, engine=engine
+            ).items()
             if hit
         }
         if hits:
@@ -154,9 +217,10 @@ def coverage(
     circuit: Circuit,
     patterns: Sequence[Mapping[str, int]],
     faults: Iterable[Fault],
+    engine: str = "compiled",
 ) -> float:
     """Fault coverage (detected / total) of a pattern set."""
-    results = fault_simulate(circuit, patterns, faults)
+    results = fault_simulate(circuit, patterns, faults, engine=engine)
     if not results:
         return 1.0
     return sum(results.values()) / len(results)

@@ -97,3 +97,61 @@ class TestCliBackendFlag:
             build_parser().parse_args(
                 ["campaign", "fig4", "--backend", "gpu"]
             )
+
+
+class TestDigitalEngineInjection:
+    def test_session_digital_engine_flows_into_stages(self):
+        from repro.api import SessionConfig
+
+        session = Workbench().session(
+            config=SessionConfig(
+                digital_engine="reference",
+                campaign=CampaignConfig(faults_per_element=1, seed=5),
+            )
+        )
+        result = session.run(
+            "fig4",
+            stages=("sensitivity", "stimulus", "atpg", "campaign"),
+        )
+        assert result.report.digital_run.diagnostics["digital_engine"] == (
+            "reference"
+        )
+        assert result.campaign.diagnostics["digital_engine"] == "reference"
+        atpg_timing = [t for t in result.timings if t.stage == "atpg"][0]
+        assert atpg_timing.backend == "reference"
+
+    def test_default_runs_compiled_everywhere(self):
+        session = Workbench().session(
+            campaign=CampaignConfig(faults_per_element=1, seed=5)
+        )
+        result = session.run(
+            "fig4",
+            stages=("sensitivity", "stimulus", "atpg", "campaign"),
+        )
+        assert result.report.digital_run.diagnostics["digital_engine"] == (
+            "compiled"
+        )
+        assert result.campaign.diagnostics["digital_engine"] == "compiled"
+        assert "[compiled]" in result.outcome.timing_table()
+
+
+class TestCliDigitalEngineFlag:
+    def test_campaign_accepts_digital_engine(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig4", "--digital-engine", "reference"]
+        )
+        assert args.digital_engine == "reference"
+
+    def test_generate_accepts_digital_engine(self):
+        args = build_parser().parse_args(
+            ["generate", "fig4", "--digital-engine", "compiled"]
+        )
+        assert args.digital_engine == "compiled"
+
+    def test_unknown_digital_engine_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "fig4", "--digital-engine", "quantum"]
+            )

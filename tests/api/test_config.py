@@ -81,3 +81,26 @@ class TestSessionConfig:
     def test_max_workers_validated(self):
         with pytest.raises(ConfigError):
             SessionConfig(max_workers=0)
+
+
+class TestDigitalEngineKnobs:
+    def test_atpg_engine_validated(self):
+        with pytest.raises(ConfigError, match="engine"):
+            AtpgConfig(engine="quantum")
+        assert AtpgConfig().engine == "compiled"
+        assert AtpgConfig(engine="reference").engine == "reference"
+
+    def test_campaign_digital_engine_validated(self):
+        with pytest.raises(ConfigError, match="digital_engine"):
+            CampaignConfig(digital_engine="quantum")
+        assert CampaignConfig().digital_engine == "compiled"
+
+    def test_session_digital_engine_validated(self):
+        with pytest.raises(ConfigError, match="digital_engine"):
+            SessionConfig(digital_engine="quantum")
+
+    def test_names_mirror_simulate_module(self):
+        from repro.api.config import DIGITAL_ENGINES
+        from repro.digital.simulate import DIGITAL_ENGINES as SIM
+
+        assert tuple(DIGITAL_ENGINES) == tuple(SIM)

@@ -130,3 +130,41 @@ class TestAlgebra:
         free = generator.test_set(fault, constrained=False)
         mgr = cbdd.mgr
         assert constrained == mgr.and_(free, fc)
+
+
+class TestSimulationCheck:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_replay_passes_on_sound_generator(self, engine):
+        circuit = fig3_circuit()
+        generator = StuckAtGenerator(
+            CircuitBdd(circuit), simulation_check=True, engine=engine
+        )
+        faults = collapse_faults(circuit, fault_universe(circuit))
+        for fault in faults:
+            result = generator.generate(fault)
+            assert result.status is TestStatus.DETECTED
+        assert generator.simulation_checks == len(faults)
+
+    def test_run_atpg_surfaces_diagnostics(self):
+        from repro.atpg import run_atpg
+        from repro.api import AtpgConfig
+
+        circuit = fig3_circuit()
+        run = run_atpg(
+            circuit, config=AtpgConfig(simulation_check=True)
+        )
+        assert run.diagnostics is not None
+        assert run.diagnostics["digital_engine"] == "compiled"
+        assert run.diagnostics["simulation_checks"] == run.n_detected
+        assert run.diagnostics["compaction"]["engine"] == "compiled"
+        assert run.diagnostics["bdd"]["ite_misses"] > 0
+
+    def test_reference_engine_produces_identical_run(self):
+        from repro.atpg import run_atpg
+        from repro.api import AtpgConfig
+
+        circuit = fig3_circuit()
+        compiled = run_atpg(circuit, config=AtpgConfig(engine="compiled"))
+        reference = run_atpg(circuit, config=AtpgConfig(engine="reference"))
+        assert compiled.vectors == reference.vectors
+        assert compiled.n_untestable == reference.n_untestable

@@ -59,3 +59,18 @@ class TestProgram:
         assert text.splitlines()[0] == "== demo =="
         assert "   1. target t0" in text
         assert "   3. target t2" in text
+
+
+class TestEnginePacking:
+    def test_bits_follow_input_order(self):
+        vector = DigitalVector.from_mapping({"b": 1, "a": 0})
+        assert vector.bits(["a", "b", "c"]) == (0, 1, 0)
+
+    def test_patterns_from_vectors_accepts_mixed_records(self):
+        from repro.atpg import patterns_from_vectors
+
+        records = [DigitalVector.from_mapping({"a": 1}), {"a": 0, "b": 1}]
+        assert patterns_from_vectors(records) == [
+            {"a": 1},
+            {"a": 0, "b": 1},
+        ]

@@ -206,3 +206,44 @@ class TestBuilders:
         f = mgr.and_(mgr.var("a"), mgr.var("b"))
         mgr.clear_operation_cache()
         assert mgr.and_(mgr.var("a"), mgr.var("b")) == f
+
+
+class TestOperationCache:
+    def test_cache_stats_counters_move(self):
+        mgr = BddManager(["a", "b", "c"])
+        stats = mgr.cache_stats()
+        assert stats["ite_hits"] == 0 and stats["ite_bound"] is None
+        f = mgr.and_(mgr.var("a"), mgr.var("b"))
+        # One non-trivial ite was computed: exactly one miss, no
+        # double-count from the pre-probe in ite().
+        assert mgr.cache_stats()["ite_misses"] == 1
+        mgr.and_(mgr.var("a"), mgr.var("b"))  # memoized second time around
+        after = mgr.cache_stats()
+        assert after["ite_misses"] == 1
+        assert after["ite_hits"] == 1
+        assert after["unique_misses"] > 0
+        assert after["nodes"] == len(mgr)
+        assert mgr.evaluate(f, {"a": 1, "b": 1}) == 1
+
+    def test_bounded_cache_evicts_but_stays_correct(self):
+        mgr = BddManager([f"x{i}" for i in range(10)], ite_cache_size=4)
+        acc = TRUE
+        for i in range(10):
+            acc = mgr.and_(acc, mgr.var(f"x{i}"))
+        stats = mgr.cache_stats()
+        assert stats["ite_bound"] == 4
+        assert stats["ite_size"] <= 4
+        assignment = {f"x{i}": 1 for i in range(10)}
+        assert mgr.evaluate(acc, assignment) == 1
+        assignment["x3"] = 0
+        assert mgr.evaluate(acc, assignment) == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(BddError):
+            BddManager(ite_cache_size=0)
+
+    def test_clear_operation_cache_resets_size(self):
+        mgr = BddManager(["a", "b"], ite_cache_size=8)
+        mgr.and_(mgr.var("a"), mgr.var("b"))
+        mgr.clear_operation_cache()
+        assert mgr.cache_stats()["ite_size"] == 0

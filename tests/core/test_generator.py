@@ -117,3 +117,32 @@ class TestGeneratorOptions:
         first = generator.sensitivities
         second = generator.sensitivities
         assert first is second
+
+
+class TestGradeDigital:
+    def test_compacted_vectors_cover_the_detected_universe(self, report):
+        mixed, _gen, result = report
+        run = result.digital_run
+        # Grade against exactly the faults the ATPG proved detectable
+        # (under Fc the full universe includes untestable faults).
+        detected = [
+            r.fault
+            for r in run.results
+            if r.status.value == "detected"
+        ]
+        graded = result.grade_digital(mixed.digital, faults=detected)
+        reference = result.grade_digital(
+            mixed.digital, faults=detected, engine="reference"
+        )
+        assert graded == reference == 1.0
+
+    def test_requires_a_digital_run(self):
+        from repro.core import MixedTestReport
+
+        with pytest.raises(ValueError, match="no digital"):
+            MixedTestReport("empty").grade_digital(None)
+
+    def test_diagnostics_exposed_and_none_when_decoded(self, report):
+        _mixed, _gen, result = report
+        assert result.digital_diagnostics is not None
+        assert result.digital_diagnostics["digital_engine"] == "compiled"
