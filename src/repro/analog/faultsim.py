@@ -28,6 +28,7 @@ the same seed.  The differential test suite holds them to that.
 from __future__ import annotations
 
 import random
+import threading
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -359,9 +360,13 @@ class FactorizedEngine(CampaignEngine):
                 element: step_order(steps, element)
                 for element in {fault.element for fault in faults}
             }
-            # Memoization across faults and steps.  Concurrent writes
-            # are benign: values are deterministic, a lost update only
-            # costs a recompute.
+            # Memoization across faults and steps.  The memos are shared
+            # by every worker thread, so all access is lock-guarded and
+            # first-write-wins (``setdefault``): every thread observes
+            # one canonical value per key, making the threaded path
+            # deterministic by construction rather than by relying on
+            # the GIL making plain-dict races benign.
+            memo_lock = threading.Lock()
             gain_memo: dict[tuple[str, float, float], float] = {}
             detect_memo: dict[tuple[int, tuple[int, ...]], bool] = {}
 
@@ -374,25 +379,31 @@ class FactorizedEngine(CampaignEngine):
                         fault.deviation,
                         stimulus.frequency_hz,
                     )
-                    gain = gain_memo.get(gain_key)
+                    with memo_lock:
+                        gain = gain_memo.get(gain_key)
                     if gain is None:
-                        gain = abs(
+                        # Compute outside the lock (the solve dominates),
+                        # then publish; a concurrent first writer wins.
+                        computed = abs(
                             factorized[stimulus.frequency_hz].deviated_voltage(
                                 fault.element, fault.deviation, output
                             )
                         )
-                        gain_memo[gain_key] = gain
+                        with memo_lock:
+                            gain = gain_memo.setdefault(gain_key, computed)
                     code = _convert(thresholds, stimulus.amplitude * gain)
                     if code == good_codes[index]:
                         continue  # conversion masks the fault at this step
                     detect_key = (index, code)
-                    hit = detect_memo.get(detect_key)
+                    with memo_lock:
+                        hit = detect_memo.get(detect_key)
                     if hit is None:
                         assignment = dict(step.vector)
                         for line, bit in zip(converter_lines, code):
                             assignment[line] = bit
-                        hit = respond(assignment) != good_words[index]
-                        detect_memo[detect_key] = hit
+                        computed = respond(assignment) != good_words[index]
+                        with memo_lock:
+                            hit = detect_memo.setdefault(detect_key, computed)
                     if hit:
                         return True, step.element
                 return False, None

@@ -37,7 +37,14 @@ __all__ = ["ARTIFACT_VERSION", "ARTIFACT_KINDS", "Artifact", "AtpgSummary"]
 
 ARTIFACT_VERSION = 1
 
-ARTIFACT_KINDS = ("report", "program", "campaign", "atpg", "experiment")
+ARTIFACT_KINDS = (
+    "report",
+    "program",
+    "campaign",
+    "campaign-shard",
+    "atpg",
+    "experiment",
+)
 
 
 @dataclass
@@ -310,6 +317,41 @@ class Artifact:
         )
 
     @classmethod
+    def from_campaign_shard(
+        cls,
+        result: CampaignResult,
+        shard_index: int,
+        n_shards: int,
+        fingerprint: str,
+        circuit: str | None = None,
+        seconds: float = 0.0,
+        meta: dict | None = None,
+    ) -> "Artifact":
+        """Wrap one completed campaign shard as a resumable checkpoint.
+
+        The payload is a ``campaign`` document plus the shard's identity
+        (index / total) and the campaign fingerprint
+        (:func:`repro.core.sharding.campaign_fingerprint`) that
+        :func:`repro.core.sharding.run_sharded_campaign` checks before
+        trusting the checkpoint on resume.
+        """
+        payload = _campaign_document(result)
+        payload.update(
+            {
+                "shard_index": shard_index,
+                "n_shards": n_shards,
+                "fingerprint": fingerprint,
+                "seconds": round(seconds, 6),
+            }
+        )
+        return cls(
+            kind="campaign-shard",
+            circuit=circuit,
+            payload=payload,
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
     def from_atpg(cls, run, meta: dict | None = None) -> "Artifact":
         """Wrap a digital ATPG run."""
         return cls(
@@ -343,8 +385,9 @@ class Artifact:
         return _report_from_document(self.payload["report"])
 
     def campaign(self) -> CampaignResult:
-        """Decode the campaign from a ``campaign`` or ``report`` artifact."""
-        if self.kind == "campaign":
+        """Decode the campaign outcomes from a ``campaign``,
+        ``campaign-shard`` or ``report`` artifact."""
+        if self.kind in ("campaign", "campaign-shard"):
             return _campaign_from_document(self.payload)
         if self.kind == "report" and "campaign" in self.payload:
             return _campaign_from_document(self.payload["campaign"])

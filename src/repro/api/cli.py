@@ -88,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--factor-cache-size", type=int, default=None, metavar="N",
         help="LRU bound on retained LU factorizations",
     )
+    p_camp.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the seeded fault population into N deterministic "
+        "shards executed in worker processes (outcomes identical to "
+        "the unsharded run)",
+    )
+    p_camp.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="process fan-out over shards (default: one per pending "
+        "shard, capped by the CPU count)",
+    )
+    p_camp.add_argument(
+        "--resume-from", metavar="DIR", default=None,
+        help="shard checkpoint directory: completed shards persist "
+        "here and a re-run resumes from them instead of restarting",
+    )
     p_camp.add_argument("--json", metavar="PATH", default=None)
     _add_generator_options(p_camp)
 
@@ -201,6 +217,9 @@ def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
         backend=args.backend,
         factor_cache_size=args.factor_cache_size,
         digital_engine=args.digital_engine,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        checkpoint_dir=args.resume_from,
     )
     result = wb.campaign(
         args.circuit,

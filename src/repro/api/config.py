@@ -162,6 +162,19 @@ class CampaignConfig(_Replaceable):
             evaluation, the default) or ``"reference"`` (the classic
             dict-walking interpreter).  The ``"reference"`` *campaign*
             engine always uses the interpreter: it is the oracle.
+        shards: split the seeded fault population into this many
+            deterministic, contiguous index slices executed in worker
+            *processes* (:mod:`repro.core.sharding`); ``1`` (the
+            default) keeps the classic single-process run.  Any shard
+            count yields outcomes byte-identical to the unsharded run.
+        shard_workers: process fan-out over shards (``None`` = one per
+            pending shard, capped by the CPU count).  Distinct from
+            ``max_workers``, which is the *thread* fan-out over faults
+            inside each shard's engine.
+        checkpoint_dir: when set, each completed shard persists a
+            versioned ``campaign-shard`` artifact in this directory and
+            a re-run resumes from every checkpoint whose fingerprint
+            still matches, instead of re-executing it.
     """
 
     faults_per_element: int = 6
@@ -172,6 +185,9 @@ class CampaignConfig(_Replaceable):
     backend: str = "auto"
     factor_cache_size: int = 64
     digital_engine: str = "compiled"
+    shards: int = 1
+    shard_workers: int | None = None
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -209,6 +225,14 @@ class CampaignConfig(_Replaceable):
             self.digital_engine in DIGITAL_ENGINES,
             f"digital_engine must be one of {DIGITAL_ENGINES}, got "
             f"{self.digital_engine!r}",
+        )
+        _require(
+            self.shards >= 1,
+            f"shards must be >= 1, got {self.shards!r}",
+        )
+        _require(
+            self.shard_workers is None or self.shard_workers >= 1,
+            f"shard_workers must be None or >= 1, got {self.shard_workers!r}",
         )
 
 
@@ -264,6 +288,8 @@ class SessionConfig(_Replaceable):
         digital_engine: session-wide digital fault-simulation engine;
             injected into the atpg and campaign configs when those are
             left at the ``"compiled"`` default.
+        shards: session-wide campaign shard count; injected into the
+            campaign config when that is left at ``1``.
     """
 
     generator: GeneratorConfig = GeneratorConfig()
@@ -272,11 +298,16 @@ class SessionConfig(_Replaceable):
     max_workers: int | None = None
     backend: str = "auto"
     digital_engine: str = "compiled"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         _require(
             self.max_workers is None or self.max_workers >= 1,
             f"max_workers must be None or >= 1, got {self.max_workers!r}",
+        )
+        _require(
+            self.shards >= 1,
+            f"shards must be >= 1, got {self.shards!r}",
         )
         _require(
             self.backend in SIM_BACKENDS,

@@ -78,17 +78,22 @@ _REQUIRES = {"campaign": "stimulus"}
 
 @dataclass
 class StageTiming:
-    """Wall-clock cost of one executed stage.
+    """Wall-clock cost of one executed stage (or sub-stage).
 
     ``backend`` names the engine the stage's solves actually ran on,
     when the stage reports one — the linear-system backend for the
     campaign stage, the digital fault-simulation engine for the atpg
-    stage; ``None`` otherwise.
+    stage; ``None`` otherwise.  ``parent`` is ``None`` for top-level
+    stages; per-shard campaign rows carry ``parent="campaign"`` and are
+    informational — they are excluded from the summed total (their
+    wall-clock overlaps the parent stage's, and shards run
+    concurrently).
     """
 
     stage: str
     seconds: float
     backend: str | None = None
+    parent: str | None = None
 
 
 @dataclass
@@ -194,16 +199,21 @@ class PipelineOutcome:
 
     @property
     def total_seconds(self) -> float:
-        """Summed stage wall-clock time."""
-        return sum(t.seconds for t in self.timings)
+        """Summed top-level stage wall-clock time.
+
+        Per-shard sub-rows are excluded: their time is already inside
+        their parent stage's row (and overlaps across processes).
+        """
+        return sum(t.seconds for t in self.timings if t.parent is None)
 
     def timing_table(self) -> str:
-        """One line per stage: name, wall-clock seconds, backend used."""
+        """One line per stage (shard sub-rows indented), plus the total."""
         lines = [f"== pipeline timing: {self.circuit_name} =="]
         for timing in self.timings:
             suffix = f"  [{timing.backend}]" if timing.backend else ""
+            indent = "    " if timing.parent is not None else "  "
             lines.append(
-                f"  {timing.stage:12s} {timing.seconds:8.3f}s{suffix}"
+                f"{indent}{timing.stage:12s} {timing.seconds:8.3f}s{suffix}"
             )
         lines.append(f"  {'total':12s} {self.total_seconds:8.3f}s")
         return "\n".join(lines)
@@ -269,6 +279,22 @@ class Pipeline:
             timings.append(
                 StageTiming(name, time.perf_counter() - start, backend)
             )
+            if name == "campaign" and ctx.campaign is not None:
+                # A sharded campaign reports one informational sub-row
+                # per shard (resumed shards cost ~0s: checkpoint reuse).
+                for row in (ctx.campaign.diagnostics or {}).get(
+                    "shard_rows", []
+                ):
+                    label = f"campaign:shard{row['shard']}"
+                    if row.get("resumed"):
+                        label += " (resumed)"
+                    timings.append(
+                        StageTiming(
+                            stage=label,
+                            seconds=row["seconds"],
+                            parent="campaign",
+                        )
+                    )
             executed.append(name)
         return PipelineOutcome(
             circuit_name=mixed.name,

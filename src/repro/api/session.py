@@ -232,6 +232,10 @@ class TestSession:
             # Session-wide backend choice flows into the campaign stage
             # unless the campaign config pinned one explicitly.
             campaign = campaign.replace(backend=self.config.backend)
+        if campaign.shards == 1 and self.config.shards != 1:
+            # Session-wide shard count flows into the campaign stage
+            # unless the campaign config pinned one explicitly.
+            campaign = campaign.replace(shards=self.config.shards)
         if self.config.digital_engine != "compiled":
             # Session-wide digital-engine choice flows into the atpg and
             # campaign stages unless those configs pinned one already.
@@ -290,12 +294,20 @@ class TestSession:
                 "more than once; pass registry names (or distinct "
                 "instances) so each worker drives its own circuit"
             )
-        workers = (
-            max_workers
-            or self.config.max_workers
-            or min(len(circuits), os.cpu_count() or 4)
-        )
-        workers = max(1, min(workers, len(circuits)))
+        if max_workers is not None and max_workers < 1:
+            # An explicit 0 (or negative) must fail loudly: the old
+            # `max_workers or ...` chain treated 0 as "unset" and
+            # silently fell through to the defaults.
+            raise ConfigError(
+                f"max_workers must be None or >= 1, got {max_workers!r}"
+            )
+        if max_workers is not None:
+            workers = max_workers
+        elif self.config.max_workers is not None:
+            workers = self.config.max_workers
+        else:
+            workers = min(len(circuits), os.cpu_count() or 4)
+        workers = min(workers, len(circuits))
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-batch"
         ) as pool:

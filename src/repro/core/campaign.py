@@ -16,6 +16,13 @@ factorizations and Sherman–Morrison rank-one updates; the
 ``"reference"`` engine re-assembles and re-solves every faulty system
 and serves as the oracle the differential test suite checks the fast
 engine against.  Both produce identical seeded outcome lists.
+
+With ``config.shards > 1`` (or a ``checkpoint_dir``), execution is
+delegated to :mod:`repro.core.sharding`: the fault population — still
+drawn exactly once from ``random.Random(config.seed)`` — is partitioned
+by index across worker processes, each completed shard may persist a
+resumable checkpoint artifact, and the merged result is byte-identical
+to the single-process run.
 """
 
 from __future__ import annotations
@@ -79,6 +86,12 @@ def run_campaign(
     faults = draw_faults(
         testable, config.faults_per_element, config.severity_range, rng
     )
+    if config.shards > 1 or config.checkpoint_dir is not None:
+        # Imported lazily so the module table stays cheap for the
+        # overwhelmingly common unsharded path.
+        from .sharding import run_sharded_campaign
+
+        return run_sharded_campaign(mixed, testable, faults, config)
     engine_instance = get_engine(config.engine)
     outcomes = engine_instance.run(
         mixed,

@@ -1,0 +1,389 @@
+"""Deterministic sharded campaign execution with checkpoint/resume.
+
+A fault-injection campaign is embarrassingly parallel *across faults*:
+every :class:`~repro.analog.faultsim.InjectionOutcome` depends only on
+its own :class:`~repro.analog.faultsim.FaultSpec`, the circuit and the
+program steps — never on another fault.  This module exploits that by
+splitting one campaign into ``N`` shards that execute in worker
+*processes* (threads remain the in-shard engine fan-out) and merge back
+into a single :class:`~repro.analog.faultsim.CampaignResult` that is
+byte-identical to the unsharded run.
+
+Seed-splitting contract
+-----------------------
+The fault population is drawn **once** in the parent from
+``random.Random(config.seed)`` — exactly as the unsharded path does —
+and partitioned by index into contiguous balanced slices
+(:func:`shard_bounds`).  Shards never re-draw: no fault can be drawn
+twice or skipped, whatever the shard count, and concatenating the
+per-shard outcome lists in shard order *is* the unsharded outcome list.
+
+Execution
+---------
+Shards run on a ``ProcessPoolExecutor`` using the ``fork`` start method:
+the workers inherit the prepared circuit, steps and fault population
+from the parent's address space, so nothing non-picklable ever crosses
+a process boundary (only shard indices go in and plain outcome
+dataclasses come back).  Where ``fork`` is unavailable — or only a
+single shard needs work — shards execute in-process, in shard order,
+with identical results.
+
+Checkpoint / resume
+-------------------
+With :attr:`~repro.api.config.CampaignConfig.checkpoint_dir` set, every
+completed shard is persisted as a versioned ``campaign-shard``
+:class:`~repro.api.artifact.Artifact` (written atomically: temp file +
+rename).  A re-run with the same directory loads each checkpoint, checks
+its fingerprint — a digest over the circuit name, the drawn fault
+population and the outcome-relevant config fields — and only executes
+the shards that are missing or stale.  An interrupted campaign therefore
+resumes from its finished shards instead of restarting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analog.faultsim import (
+    CampaignResult,
+    FaultSpec,
+    InjectionOutcome,
+    get_engine,
+)
+from ..api.config import CampaignConfig, ConfigError
+
+__all__ = [
+    "ShardRun",
+    "shard_bounds",
+    "campaign_fingerprint",
+    "checkpoint_path",
+    "run_sharded_campaign",
+]
+
+
+def shard_bounds(n_faults: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` fault slices per shard.
+
+    The first ``n_faults % shards`` shards carry one extra fault, so any
+    shard count partitions any population exactly — shard counts that do
+    not divide the fault count simply yield uneven (possibly empty)
+    slices, never dropped or duplicated faults.
+    """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards!r}")
+    if n_faults < 0:
+        raise ConfigError(f"n_faults must be >= 0, got {n_faults!r}")
+    base, extra = divmod(n_faults, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _step_document(step) -> list:
+    """One program step's outcome-relevant identity, JSON-encodable."""
+    stimulus = getattr(step, "stimulus", None)
+    vector = getattr(step, "vector", None)
+    return [
+        step.element,
+        None if stimulus is None else stimulus.frequency_hz,
+        None if stimulus is None else stimulus.amplitude,
+        None if vector is None else sorted(dict(vector).items()),
+        getattr(step, "observing_output", None),
+    ]
+
+
+def campaign_fingerprint(
+    circuit_name: str,
+    config: CampaignConfig,
+    faults: Sequence[FaultSpec],
+    steps: Sequence = (),
+) -> str:
+    """Digest identifying one campaign's outcome-relevant identity.
+
+    Covers the circuit name, the drawn fault population (element,
+    deviation, severity — the floats verbatim), the test-program steps
+    the faults run against (stimulus and digital vector per step — a
+    regenerated program must never be scored with another program's
+    checkpoints) and every config field that can influence an outcome.
+    Shard counts, worker counts and the checkpoint directory are
+    deliberately *excluded*: outcomes are independent of how the work
+    is split, so checkpoints stay valid across re-runs that only change
+    the fan-out.
+    """
+    document = {
+        "circuit": circuit_name,
+        "seed": config.seed,
+        "faults_per_element": config.faults_per_element,
+        "severity_range": list(config.severity_range),
+        "engine": config.engine,
+        "backend": config.backend,
+        "digital_engine": config.digital_engine,
+        "faults": [[f.element, f.deviation, f.severity] for f in faults],
+        "steps": [_step_document(step) for step in steps],
+    }
+    encoded = json.dumps(document, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def checkpoint_path(directory: str | Path, index: int, shards: int) -> Path:
+    """Where shard ``index`` of ``shards`` persists its checkpoint."""
+    return Path(directory) / f"shard-{index:04d}-of-{shards:04d}.json"
+
+
+@dataclass
+class ShardRun:
+    """One shard's execution record (fresh or resumed from checkpoint)."""
+
+    index: int
+    outcomes: list[InjectionOutcome]
+    seconds: float
+    resumed: bool = False
+    diagnostics: dict | None = None
+
+
+# ----------------------------------------------------------------------
+# fork-shared execution context
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardContext:
+    """Everything a shard worker needs, inherited across ``fork``."""
+
+    mixed: object
+    steps: Sequence
+    faults: Sequence[FaultSpec]
+    bounds: list[tuple[int, int]]
+    config: CampaignConfig
+
+
+#: the active context, read by forked workers; guarded by ``_fork_lock``
+#: so concurrent sharded campaigns in one process serialize their pools
+#: instead of clobbering each other's context.
+_fork_context: _ShardContext | None = None
+_fork_lock = threading.Lock()
+
+
+def _execute_shard(context: _ShardContext, index: int) -> ShardRun:
+    """Run one shard's fault slice on a fresh engine instance."""
+    start, stop = context.bounds[index]
+    config = context.config
+    engine = get_engine(config.engine)
+    begin = time.perf_counter()
+    outcomes = engine.run(
+        context.mixed,
+        context.steps,
+        list(context.faults[start:stop]),
+        max_workers=config.max_workers,
+        backend=config.backend,
+        factor_cache_size=config.factor_cache_size,
+        digital_engine=config.digital_engine,
+    )
+    return ShardRun(
+        index=index,
+        outcomes=outcomes,
+        seconds=time.perf_counter() - begin,
+        diagnostics=engine.last_diagnostics,
+    )
+
+
+def _execute_shard_forked(index: int) -> ShardRun:
+    """Process-pool entry point: runs in a forked worker."""
+    context = _fork_context
+    if context is None:  # pragma: no cover — defensive, fork inherits it
+        raise RuntimeError("shard worker forked without a campaign context")
+    return _execute_shard(context, index)
+
+
+# ----------------------------------------------------------------------
+# checkpoint persistence
+# ----------------------------------------------------------------------
+def _write_checkpoint(
+    directory: str | Path,
+    run: ShardRun,
+    shards: int,
+    fingerprint: str,
+    circuit_name: str,
+) -> Path:
+    """Persist one completed shard atomically (temp file + rename)."""
+    # Imported lazily: repro.api.artifact imports repro.core, so a
+    # module-level import here would be a cycle.
+    from ..api.artifact import Artifact
+
+    artifact = Artifact.from_campaign_shard(
+        CampaignResult(outcomes=run.outcomes),
+        shard_index=run.index,
+        n_shards=shards,
+        fingerprint=fingerprint,
+        circuit=circuit_name,
+        seconds=run.seconds,
+        # Engine diagnostics ride along so a fully-resumed campaign
+        # still reports which backend/engines produced its outcomes.
+        meta={"diagnostics": run.diagnostics or {}},
+    )
+    path = checkpoint_path(directory, run.index, shards)
+    temporary = path.with_name(path.name + ".tmp")
+    temporary.write_text(artifact.to_json() + "\n")
+    temporary.replace(path)  # atomic: a killed run never leaves a torn file
+    return path
+
+
+def _load_checkpoint(
+    directory: str | Path, index: int, shards: int, fingerprint: str
+) -> ShardRun | None:
+    """A shard's checkpoint, or ``None`` if missing, torn or stale."""
+    from ..api.artifact import Artifact
+
+    path = checkpoint_path(directory, index, shards)
+    if not path.exists():
+        return None
+    try:
+        artifact = Artifact.load(path)
+    except (ValueError, KeyError, TypeError, AttributeError, OSError):
+        # Torn, foreign or wrong-shaped file (e.g. a JSON list falls
+        # into the legacy program adapter): recompute the shard.
+        return None
+    if artifact.kind != "campaign-shard":
+        return None
+    payload = artifact.payload
+    if (
+        payload.get("shard_index") != index
+        or payload.get("n_shards") != shards
+        or payload.get("fingerprint") != fingerprint
+    ):
+        return None  # stale: another population/config wrote it
+    return ShardRun(
+        index=index,
+        outcomes=artifact.campaign().outcomes,
+        seconds=float(payload.get("seconds", 0.0)),
+        resumed=True,
+        diagnostics=artifact.meta.get("diagnostics") or None,
+    )
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+def _resolve_shard_workers(config: CampaignConfig, pending: int) -> int:
+    if config.shard_workers is not None:
+        return max(1, min(config.shard_workers, pending))
+    return max(1, min(pending, os.cpu_count() or 1))
+
+
+def run_sharded_campaign(
+    mixed,
+    steps: Sequence,
+    faults: Sequence[FaultSpec],
+    config: CampaignConfig,
+) -> CampaignResult:
+    """Execute a pre-drawn fault population in deterministic shards.
+
+    ``faults`` must be the population drawn once from
+    ``random.Random(config.seed)`` (see :func:`repro.analog.faultsim.
+    draw_faults`); this function never draws.  Outcomes are merged in
+    fault order, so the returned result equals the unsharded run of the
+    same population exactly.  With ``config.checkpoint_dir`` set,
+    completed shards persist as ``campaign-shard`` artifacts and valid
+    checkpoints are reused instead of re-executed.
+    """
+    shards = config.shards
+    bounds = shard_bounds(len(faults), shards)
+    fingerprint = campaign_fingerprint(mixed.name, config, faults, steps)
+    runs: dict[int, ShardRun] = {}
+
+    directory = config.checkpoint_dir
+    if directory is not None:
+        Path(directory).mkdir(parents=True, exist_ok=True)
+        for index in range(shards):
+            loaded = _load_checkpoint(directory, index, shards, fingerprint)
+            if loaded is not None:
+                runs[index] = loaded
+
+    pending = [index for index in range(shards) if index not in runs]
+    context = _ShardContext(mixed, steps, faults, bounds, config)
+    workers = _resolve_shard_workers(config, len(pending))
+    use_processes = (
+        len(pending) > 1
+        and workers > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+        # Forking a multithreaded parent can leave locks held by
+        # threads that do not exist in the child (the classic
+        # fork-in-threads deadlock) — e.g. a campaign launched from a
+        # run_batch worker thread.  Fall back to in-process execution:
+        # identical outcomes, just serial.
+        and threading.active_count() == 1
+    )
+
+    def record(run: ShardRun) -> None:
+        runs[run.index] = run
+        if directory is not None:
+            _write_checkpoint(directory, run, shards, fingerprint, mixed.name)
+
+    if use_processes:
+        global _fork_context
+        with _fork_lock:
+            _fork_context = context
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                ) as pool:
+                    futures = [
+                        pool.submit(_execute_shard_forked, index)
+                        for index in pending
+                    ]
+                    # Checkpoint each shard the moment it completes, so an
+                    # interruption preserves every finished shard.
+                    for future in as_completed(futures):
+                        record(future.result())
+            finally:
+                _fork_context = None
+    else:
+        for index in pending:
+            record(_execute_shard(context, index))
+
+    outcomes: list[InjectionOutcome] = []
+    for index in range(shards):
+        outcomes.extend(runs[index].outcomes)
+
+    # Engine diagnostics from the first shard that has any — freshly
+    # executed shards first, then checkpoint-carried ones, so even a
+    # fully-resumed campaign reports its backend/engines.
+    ordered = [runs[i] for i in sorted(runs)]
+    engine_diagnostics = next(
+        (r.diagnostics for r in ordered if not r.resumed and r.diagnostics),
+        None,
+    ) or next((r.diagnostics for r in ordered if r.diagnostics), {})
+    diagnostics = {
+        **engine_diagnostics,
+        "engine": config.engine,
+        "sharded": True,
+        "shards": shards,
+        "shard_workers": workers if use_processes else 1,
+        "process_pool": use_processes,
+        "fingerprint": fingerprint,
+        "resumed_shards": sorted(
+            index for index, run in runs.items() if run.resumed
+        ),
+        "shard_rows": [
+            {
+                "shard": index,
+                "n_faults": bounds[index][1] - bounds[index][0],
+                "seconds": round(runs[index].seconds, 6),
+                "resumed": runs[index].resumed,
+            }
+            for index in range(shards)
+        ],
+    }
+    return CampaignResult(outcomes=outcomes, diagnostics=diagnostics)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import cmath
 import math
+import threading
 
 import numpy as np
 
@@ -341,7 +342,10 @@ class FactorizedMna:
         # y = A⁻¹·u per value-independent update direction u — computing
         # it is the only triangular solve a rank-one update needs, and
         # every deviation of the same element reuses the same direction.
+        # The campaign engine calls deviated_voltage from worker
+        # threads, so access is lock-guarded, first-write-wins.
         self._ys: dict[tuple, np.ndarray] = {}
+        self._ys_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -506,13 +510,18 @@ class FactorizedMna:
             if factors is None:
                 return entries  # genuinely rank ≥ 2: dense fallback
         u_key, u_rows, u_vals, w_cols, w_vals = factors
-        y = self._ys.get(u_key) if u_key is not None else None
+        if u_key is not None:
+            with self._ys_lock:
+                y = self._ys.get(u_key)
+        else:
+            y = None
         if y is None:
             u = np.zeros(self._size, dtype=complex)
             u[u_rows] = u_vals
             y = self._factorization.solve(u)
             if u_key is not None:
-                self._ys[u_key] = y
+                with self._ys_lock:
+                    y = self._ys.setdefault(u_key, y)
         w_dot_y = sum(w * y[c] for c, w in zip(w_cols, w_vals))
         denominator = 1.0 + w_dot_y
         if abs(denominator) < 1e-14:

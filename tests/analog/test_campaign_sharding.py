@@ -1,0 +1,367 @@
+"""Sharded campaign execution: determinism, checkpoint/resume, fan-out.
+
+The contract under test (``repro.core.sharding``): for one seed, the
+campaign's ``InjectionOutcome`` list is *identical* — element by
+element, byte by byte once serialized — whatever the thread fan-out
+(``max_workers``), the shard count (``shards``, including counts that do
+not divide the fault population) or the process fan-out
+(``shard_workers``), and a run resumed from shard checkpoints merges to
+the same result as an uninterrupted one.
+"""
+
+import json
+
+import pytest
+
+from repro.api import Artifact, CampaignConfig, ConfigError, Workbench
+from repro.core import run_campaign, shard_bounds
+from repro.core.sharding import (
+    _execute_shard,
+    _ShardContext,
+    _write_checkpoint,
+    campaign_fingerprint,
+    checkpoint_path,
+)
+from repro.analog.faultsim import draw_faults
+import random
+
+
+def _outcome_key(result):
+    return [
+        (o.element, o.deviation, o.severity, o.detected, o.detecting_target)
+        for o in result.outcomes
+    ]
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    session = Workbench().session()
+    mixed = session.circuit("fig4")
+    report = session.run(mixed, stages=("sensitivity", "stimulus")).report
+    return mixed, report
+
+
+@pytest.fixture(scope="module")
+def baseline(prepared):
+    """The classic single-process, single-thread run: the reference."""
+    mixed, report = prepared
+    return run_campaign(mixed, report, config=_config())
+
+
+def _config(**overrides):
+    return CampaignConfig(faults_per_element=4, seed=11).replace(**overrides)
+
+
+class TestShardBounds:
+    def test_partition_is_exact_and_contiguous(self):
+        for n_faults in (0, 1, 7, 32, 33):
+            for shards in (1, 2, 5, 40):
+                bounds = shard_bounds(n_faults, shards)
+                assert len(bounds) == shards
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n_faults
+                for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                    assert stop == start  # no gap, no overlap
+                sizes = [stop - start for start, stop in bounds]
+                assert max(sizes) - min(sizes) <= 1  # balanced
+
+    def test_more_shards_than_faults_yields_empty_shards(self):
+        bounds = shard_bounds(3, 5)
+        assert [stop - start for start, stop in bounds] == [1, 1, 1, 0, 0]
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            shard_bounds(10, 0)
+        with pytest.raises(ConfigError):
+            shard_bounds(-1, 2)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_thread_fanout_identical(self, prepared, baseline, workers):
+        mixed, report = prepared
+        result = run_campaign(
+            mixed, report, config=_config(max_workers=workers)
+        )
+        assert _outcome_key(result) == _outcome_key(baseline)
+
+    @pytest.mark.parametrize("shards", [1, 2, 5])
+    def test_shard_counts_identical(self, prepared, baseline, shards):
+        # fig4 draws 32 faults: 5 deliberately does not divide it.
+        mixed, report = prepared
+        result = run_campaign(mixed, report, config=_config(shards=shards))
+        assert _outcome_key(result) == _outcome_key(baseline)
+        if shards > 1:
+            rows = result.diagnostics["shard_rows"]
+            assert sum(row["n_faults"] for row in rows) == len(
+                baseline.outcomes
+            )
+
+    def test_process_pool_identical(self, prepared, baseline):
+        mixed, report = prepared
+        result = run_campaign(
+            mixed, report, config=_config(shards=4, shard_workers=4)
+        )
+        assert _outcome_key(result) == _outcome_key(baseline)
+        assert result.diagnostics["process_pool"] is True
+
+    def test_processes_with_in_shard_threads_identical(
+        self, prepared, baseline
+    ):
+        mixed, report = prepared
+        result = run_campaign(
+            mixed,
+            report,
+            config=_config(shards=2, shard_workers=2, max_workers=2),
+        )
+        assert _outcome_key(result) == _outcome_key(baseline)
+
+    def test_multithreaded_caller_falls_back_in_process(
+        self, prepared, baseline
+    ):
+        """Never fork under a threaded parent — run in-process instead."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        mixed, report = prepared
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            result = pool.submit(
+                run_campaign,
+                mixed,
+                report,
+                config=_config(shards=4, shard_workers=4),
+            ).result()
+        assert result.diagnostics["process_pool"] is False
+        assert _outcome_key(result) == _outcome_key(baseline)
+
+    def test_serialized_outcomes_byte_identical(self, prepared, baseline):
+        mixed, report = prepared
+        sharded = run_campaign(mixed, report, config=_config(shards=3))
+        unsharded_json = Artifact.from_campaign(baseline, "fig4").to_json()
+        sharded_json = Artifact.from_campaign(sharded, "fig4").to_json()
+        assert sharded_json == unsharded_json
+
+
+class TestCheckpointResume:
+    def test_checkpoints_written_and_loadable(
+        self, prepared, baseline, tmp_path
+    ):
+        mixed, report = prepared
+        config = _config(shards=3, checkpoint_dir=str(tmp_path))
+        result = run_campaign(mixed, report, config=config)
+        assert _outcome_key(result) == _outcome_key(baseline)
+        for index in range(3):
+            artifact = Artifact.load(checkpoint_path(tmp_path, index, 3))
+            assert artifact.kind == "campaign-shard"
+            assert artifact.payload["shard_index"] == index
+            assert artifact.payload["n_shards"] == 3
+            assert artifact.campaign().outcomes  # decodes through Artifact
+
+    def test_interrupted_run_resumes_from_finished_shards(
+        self, prepared, baseline, tmp_path
+    ):
+        """Simulate a kill: only shard 1 finished, then a fresh run."""
+        mixed, report = prepared
+        config = _config(shards=3, checkpoint_dir=str(tmp_path))
+        testable = [t for t in report.analog_tests if t.testable]
+        faults = draw_faults(
+            testable,
+            config.faults_per_element,
+            config.severity_range,
+            random.Random(config.seed),
+        )
+        bounds = shard_bounds(len(faults), config.shards)
+        fingerprint = campaign_fingerprint(mixed.name, config, faults, testable)
+        context = _ShardContext(mixed, testable, faults, bounds, config)
+        partial = _execute_shard(context, 1)
+        _write_checkpoint(tmp_path, partial, 3, fingerprint, mixed.name)
+
+        resumed = run_campaign(mixed, report, config=config)
+        assert resumed.diagnostics["resumed_shards"] == [1]
+        assert _outcome_key(resumed) == _outcome_key(baseline)
+
+    def test_deleted_checkpoint_is_recomputed(
+        self, prepared, baseline, tmp_path
+    ):
+        mixed, report = prepared
+        config = _config(shards=3, checkpoint_dir=str(tmp_path))
+        run_campaign(mixed, report, config=config)
+        checkpoint_path(tmp_path, 1, 3).unlink()
+        resumed = run_campaign(mixed, report, config=config)
+        assert resumed.diagnostics["resumed_shards"] == [0, 2]
+        assert _outcome_key(resumed) == _outcome_key(baseline)
+        assert checkpoint_path(tmp_path, 1, 3).exists()  # re-persisted
+
+    def test_stale_checkpoints_are_ignored(self, prepared, tmp_path):
+        """A different seed invalidates every checkpoint fingerprint."""
+        mixed, report = prepared
+        config = _config(shards=2, checkpoint_dir=str(tmp_path))
+        run_campaign(mixed, report, config=config)
+        other = run_campaign(mixed, report, config=config.replace(seed=99))
+        assert other.diagnostics["resumed_shards"] == []
+        fresh = run_campaign(
+            mixed, report, config=config.replace(seed=99, checkpoint_dir=None)
+        )
+        assert _outcome_key(other) == _outcome_key(fresh)
+
+    @pytest.mark.parametrize(
+        "content", ['{"torn":', "[1, 2, 3]", '{"foreign": true}']
+    )
+    def test_torn_or_foreign_checkpoint_is_ignored(
+        self, prepared, baseline, tmp_path, content
+    ):
+        mixed, report = prepared
+        config = _config(shards=2, checkpoint_dir=str(tmp_path))
+        run_campaign(mixed, report, config=config)
+        checkpoint_path(tmp_path, 0, 2).write_text(content)
+        resumed = run_campaign(mixed, report, config=config)
+        assert resumed.diagnostics["resumed_shards"] == [1]
+        assert _outcome_key(resumed) == _outcome_key(baseline)
+
+    def test_fully_resumed_run_keeps_engine_diagnostics(
+        self, prepared, tmp_path
+    ):
+        mixed, report = prepared
+        config = _config(shards=2, checkpoint_dir=str(tmp_path))
+        first = run_campaign(mixed, report, config=config)
+        resumed = run_campaign(mixed, report, config=config)
+        assert resumed.diagnostics["resumed_shards"] == [0, 1]
+        # The checkpoint carries the engine diagnostics forward.
+        assert resumed.diagnostics["backend"] == first.diagnostics["backend"]
+        assert (
+            resumed.diagnostics["digital_engine"]
+            == first.diagnostics["digital_engine"]
+        )
+
+    def test_checkpoint_json_is_strict(self, prepared, tmp_path):
+        mixed, report = prepared
+        config = _config(shards=2, checkpoint_dir=str(tmp_path))
+        run_campaign(mixed, report, config=config)
+        for index in range(2):
+            text = checkpoint_path(tmp_path, index, 2).read_text()
+            json.loads(text)  # no Infinity/NaN literals
+
+
+class TestFingerprint:
+    def test_fanout_knobs_do_not_invalidate_checkpoints(self, prepared):
+        """Re-running with different worker counts must resume cleanly."""
+        mixed, report = prepared
+        testable = [t for t in report.analog_tests if t.testable]
+        faults = draw_faults(
+            testable, 4, (0.5, 3.0), random.Random(11)
+        )
+        base = campaign_fingerprint(mixed.name, _config(), faults)
+        for overrides in (
+            {"shards": 7},
+            {"shard_workers": 3},
+            {"max_workers": 5},
+            {"checkpoint_dir": "/elsewhere"},
+        ):
+            assert (
+                campaign_fingerprint(mixed.name, _config(**overrides), faults)
+                == base
+            )
+
+    def test_outcome_relevant_fields_do_invalidate(self, prepared):
+        mixed, report = prepared
+        testable = [t for t in report.analog_tests if t.testable]
+        faults = draw_faults(
+            testable, 4, (0.5, 3.0), random.Random(11)
+        )
+        base = campaign_fingerprint(mixed.name, _config(), faults, testable)
+        assert (
+            campaign_fingerprint("other", _config(), faults, testable) != base
+        )
+        assert (
+            campaign_fingerprint(mixed.name, _config(seed=12), faults, testable)
+            != base
+        )
+        assert (
+            campaign_fingerprint(mixed.name, _config(), faults[:-1], testable)
+            != base
+        )
+
+    def test_changed_program_steps_do_invalidate(self, prepared):
+        """A regenerated test program must never reuse old checkpoints."""
+        import dataclasses
+
+        mixed, report = prepared
+        testable = [t for t in report.analog_tests if t.testable]
+        faults = draw_faults(testable, 4, (0.5, 3.0), random.Random(11))
+        base = campaign_fingerprint(mixed.name, _config(), faults, testable)
+        stimulus = dataclasses.replace(
+            testable[0].stimulus, amplitude=testable[0].stimulus.amplitude * 2
+        )
+        changed = [dataclasses.replace(testable[0], stimulus=stimulus)]
+        changed += list(testable[1:])
+        assert (
+            campaign_fingerprint(mixed.name, _config(), faults, changed)
+            != base
+        )
+
+
+class TestConfigSurface:
+    def test_invalid_shard_settings_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(shards=0)
+        with pytest.raises(ConfigError):
+            CampaignConfig(shard_workers=0)
+        with pytest.raises(ConfigError):
+            CampaignConfig(max_workers=0)
+
+    def test_session_injects_shards(self, prepared):
+        from repro.api import SessionConfig, TestSession
+
+        session = TestSession(
+            config=SessionConfig(
+                campaign=_config(), shards=2
+            )
+        )
+        result = session.run(
+            "fig4",
+            stages=("sensitivity", "stimulus", "campaign"),
+        )
+        assert result.campaign.diagnostics["shards"] == 2
+        assert result.configs["campaign"]["shards"] == 2
+        # Per-shard rows surface in the stage timing table.
+        labels = [t.stage for t in result.timings if t.parent == "campaign"]
+        assert labels == ["campaign:shard0", "campaign:shard1"]
+        assert "campaign:shard0" in result.outcome.timing_table()
+
+    def test_explicit_campaign_shards_beat_session(self):
+        from repro.api import SessionConfig, TestSession
+
+        session = TestSession(
+            config=SessionConfig(campaign=_config(shards=3), shards=2)
+        )
+        result = session.run(
+            "fig4", stages=("sensitivity", "stimulus", "campaign")
+        )
+        assert result.campaign.diagnostics["shards"] == 3
+
+
+@pytest.mark.slow
+class TestShardEqualitySlow:
+    """Sharded == unsharded on fig4 and the Example 3 ladder assembly."""
+
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_fig4_process_pool_equality(self, prepared, shards):
+        mixed, report = prepared
+        config = CampaignConfig(faults_per_element=8, seed=2024)
+        unsharded = run_campaign(mixed, report, config=config)
+        sharded = run_campaign(
+            mixed,
+            report,
+            config=config.replace(shards=shards, shard_workers=shards),
+        )
+        assert _outcome_key(sharded) == _outcome_key(unsharded)
+
+    def test_example3_ladder_equality(self):
+        session = Workbench().session()
+        mixed = session.circuit("example3-c432")
+        report = session.run(mixed, stages=("sensitivity", "stimulus")).report
+        config = CampaignConfig(faults_per_element=3, seed=5)
+        unsharded = run_campaign(mixed, report, config=config)
+        sharded = run_campaign(
+            mixed, report, config=config.replace(shards=4, shard_workers=2)
+        )
+        assert _outcome_key(sharded) == _outcome_key(unsharded)
