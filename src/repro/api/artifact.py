@@ -44,6 +44,9 @@ ARTIFACT_KINDS = (
     "campaign-shard",
     "atpg",
     "experiment",
+    # A persisted service job (repro.service.jobs): its payload is the
+    # job document — spec, state, timestamps, events, result pointer.
+    "job",
 )
 
 
@@ -358,6 +361,21 @@ class Artifact:
             kind="atpg",
             circuit=run.circuit_name,
             payload=_atpg_document(run),
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_job(
+        cls,
+        document: dict,
+        circuit: str | None = None,
+        meta: dict | None = None,
+    ) -> "Artifact":
+        """Wrap a service job document (:mod:`repro.service.jobs`)."""
+        return cls(
+            kind="job",
+            circuit=circuit,
+            payload=dict(document),
             meta=dict(meta or {}),
         )
 

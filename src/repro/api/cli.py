@@ -7,14 +7,26 @@ Subcommands::
     campaign     full flow incl. fault-injection scoring
     experiment   regenerate one of the paper's tables/figures
     bench-smoke  fast end-to-end self-check (CI gate)
+    serve        run the campaign service (HTTP/JSON job API)
+    submit       submit a campaign job to a running service
+    status       show a job (or all jobs) on a running service
+    fetch        download a stored artifact by fingerprint
 
-Every subcommand accepts ``--json PATH`` to persist the result as a
-versioned :class:`repro.api.Artifact` document.
+Every result-producing subcommand accepts ``--json PATH`` to persist
+the result as a versioned :class:`repro.api.Artifact` document.  The
+service verbs default their ``--url`` to ``$REPRO_SERVICE_URL`` (or
+``http://127.0.0.1:8080``).
+
+Error contract: unknown circuit/experiment/job names, malformed config
+values and unreachable-service failures exit with code ``2`` and a
+one-line ``error:`` message — never a traceback; ``Ctrl-C`` exits
+``130`` cleanly.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -117,7 +129,96 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-smoke", help="fast end-to-end self-check (fig4 pipeline)"
     )
     p_smoke.add_argument("--json", metavar="PATH", default=None)
+
+    # -- service verbs --------------------------------------------------
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign service (HTTP/JSON job API)"
+    )
+    p_serve.add_argument(
+        "--store", metavar="DIR", default=".repro-service",
+        help="service root: job records and the content-addressed "
+        "artifact store live here (default: .repro-service)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="bounded campaign-execution worker pool (default: 2)",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a campaign job to a running service"
+    )
+    p_submit.add_argument("circuit", help="registry name, e.g. fig4")
+    _add_url_option(p_submit)
+    p_submit.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="JSON job-spec file; the flags below override its values",
+    )
+    p_submit.add_argument("--faults-per-element", type=int, default=None)
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument(
+        "--severity", nargs=2, type=float, metavar=("LOW", "HIGH"),
+        default=None,
+    )
+    p_submit.add_argument("--engine", choices=CAMPAIGN_ENGINES, default=None)
+    p_submit.add_argument("--backend", choices=SIM_BACKENDS, default=None)
+    p_submit.add_argument(
+        "--digital-engine", choices=DIGITAL_ENGINES, default=None
+    )
+    p_submit.add_argument("--shards", type=int, default=None, metavar="N")
+    p_submit.add_argument("--tolerance", type=float, default=None)
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    p_submit.add_argument(
+        "--events", action="store_true",
+        help="stream progress events while waiting (implies --wait)",
+    )
+    p_submit.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="fetch the result artifact here once done (implies --wait)",
+    )
+
+    p_status = sub.add_parser(
+        "status", help="show a job (or all jobs) on a running service"
+    )
+    p_status.add_argument(
+        "job", nargs="?", default=None,
+        help="job id; omitted = one summary line per job",
+    )
+    _add_url_option(p_status)
+    p_status.add_argument(
+        "--events", action="store_true", help="also print the event log"
+    )
+    p_status.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+
+    p_fetch = sub.add_parser(
+        "fetch", help="download a stored artifact by fingerprint"
+    )
+    p_fetch.add_argument("fingerprint", help="sha256 store key (64 hex chars)")
+    _add_url_option(p_fetch)
+    p_fetch.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the artifact here instead of stdout",
+    )
     return parser
+
+
+def _add_url_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--url", metavar="URL",
+        default=os.environ.get("REPRO_SERVICE_URL", "http://127.0.0.1:8080"),
+        help="service base URL (default: $REPRO_SERVICE_URL or "
+        "http://127.0.0.1:8080)",
+    )
 
 
 def _add_generator_options(parser: argparse.ArgumentParser) -> None:
@@ -300,12 +401,158 @@ def _artifact_round_trips(result) -> bool:
     return Artifact.from_json(artifact.to_json()).to_json() == artifact.to_json()
 
 
+# ----------------------------------------------------------------------
+# service verbs
+# ----------------------------------------------------------------------
+def _cmd_serve(wb: Workbench, args: argparse.Namespace) -> int:
+    from ..service.http import serve
+
+    if args.workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {args.workers!r}")
+    return serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        verbose=not args.quiet,
+    )
+
+
+def _client(args: argparse.Namespace):
+    from ..service.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _load_spec_file(path: str) -> dict:
+    """A job-spec JSON file as a dict (malformed files exit cleanly)."""
+    import json as _json
+    from pathlib import Path
+
+    try:
+        document = _json.loads(Path(path).read_text())
+    except ValueError as error:
+        raise ConfigError(f"spec file {path!r} is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ConfigError(f"spec file {path!r} must hold a JSON object")
+    return document
+
+
+def _job_line(job: dict) -> str:
+    # Accepts both the summary row (flat "circuit") and the full job
+    # document (circuit nested in the spec).
+    circuit = job.get("circuit") or job.get("spec", {}).get("circuit", "?")
+    flags = " (from store)" if job.get("served_from_store") else ""
+    suffix = f"  error: {job['error']}" if job.get("error") else ""
+    return f"{job['job_id']}  {job['state']:9s} {circuit:16s}{flags}{suffix}"
+
+
+def _print_events(events) -> None:
+    for event in events:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in event.items() if k not in ("seq", "ts", "kind")
+        )
+        print(f"  [{event['seq']:3d}] {event['kind']}" + (f": {detail}" if detail else ""))
+
+
+def _finish_job(client, job: dict, args: argparse.Namespace) -> int:
+    """Shared tail of submit/status --wait: report, fetch, exit code."""
+    if getattr(args, "events", False):
+        _print_events(client.stream_events(job["job_id"]))
+        job = client.status(job["job_id"])
+    elif args.wait or getattr(args, "json", None):
+        job = client.wait(job["job_id"])
+    print(_job_line(job))
+    if job["state"] == "done" and getattr(args, "json", None):
+        from pathlib import Path
+
+        Path(args.json).write_text(client.artifact_text(job["artifact"]))
+        print(f"artifact written: {args.json}")
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_submit(wb: Workbench, args: argparse.Namespace) -> int:
+    spec = _load_spec_file(args.spec) if args.spec else {}
+    spec["circuit"] = args.circuit
+    campaign = dict(spec.get("campaign") or {})
+    campaign.update(
+        {
+            key: value
+            for key, value in {
+                "faults_per_element": args.faults_per_element,
+                "seed": args.seed,
+                "severity_range": None
+                if args.severity is None
+                else list(args.severity),
+                "engine": args.engine,
+                "backend": args.backend,
+                "digital_engine": args.digital_engine,
+                "shards": args.shards,
+            }.items()
+            if value is not None
+        }
+    )
+    generator = dict(spec.get("generator") or {})
+    if args.tolerance is not None:
+        generator["tolerance"] = args.tolerance
+    client = _client(args)
+    job = client.submit(
+        args.circuit,
+        campaign=campaign or None,
+        generator=generator or None,
+        atpg=spec.get("atpg") or None,
+    )
+    dedup = "  (deduplicated: identical work already known)" if job["deduplicated"] else ""
+    print(f"submitted: {_job_line(job)}{dedup}")
+    if args.wait or args.events or args.json:
+        return _finish_job(client, job, args)
+    return 0
+
+
+def _cmd_status(wb: Workbench, args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.job is None:
+        jobs = client.jobs()
+        if not jobs:
+            print("no jobs")
+            return 0
+        for job in jobs:
+            print(_job_line(job))
+        return 0
+    if args.wait:
+        job = client.wait(args.job)
+    else:
+        job = client.status(args.job)
+    print(_job_line(job))
+    if job.get("fingerprint"):
+        print(f"  fingerprint: {job['fingerprint']}")
+    if args.events:
+        _print_events(job.get("events") or client.status(args.job)["events"])
+    return 0 if job["state"] not in ("failed", "cancelled") else 1
+
+
+def _cmd_fetch(wb: Workbench, args: argparse.Namespace) -> int:
+    text = _client(args).artifact_text(args.fingerprint)
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(text)
+        print(f"artifact written: {args.json}")
+    else:
+        print(text, end="")
+    return 0
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "generate": _cmd_generate,
     "campaign": _cmd_campaign,
     "experiment": _cmd_experiment,
     "bench-smoke": _cmd_bench_smoke,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
 }
 
 
@@ -324,10 +571,16 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        # Ctrl-C on a long campaign (or a foreground `serve`) is a
+        # deliberate stop, not a bug: no traceback, conventional 130.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     except (ConfigError, OSError) as error:
-        # ConfigError covers bad values and unknown names; OSError the
-        # --json file writes.  Anything else is a genuine bug and keeps
-        # its traceback.
+        # ConfigError covers bad values and unknown names (the service
+        # layer's JobStateError included); OSError the --json file
+        # writes and every client-side service failure (ServiceError).
+        # Anything else is a genuine bug and keeps its traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

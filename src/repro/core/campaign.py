@@ -52,6 +52,7 @@ def run_campaign(
     backend: str | None = None,
     digital_engine: str | None = None,
     config: CampaignConfig | None = None,
+    progress=None,
 ) -> CampaignResult:
     """Inject seeded analog faults and execute the emitted program.
 
@@ -72,6 +73,11 @@ def run_campaign(
     levelized circuit or the ``"reference"`` interpreter).  The
     returned result's ``diagnostics`` records which backend/engines
     actually ran and the factorization-cache hit/miss counters.
+
+    ``progress`` (sharded runs only) is forwarded to
+    :func:`repro.core.sharding.run_sharded_campaign`: it receives each
+    completed :class:`~repro.core.sharding.ShardRun` as it lands, which
+    is how the service layer streams per-shard job events.
     """
     config = (config if config is not None else CampaignConfig()).with_overrides(
         faults_per_element=faults_per_element,
@@ -91,7 +97,9 @@ def run_campaign(
         # overwhelmingly common unsharded path.
         from .sharding import run_sharded_campaign
 
-        return run_sharded_campaign(mixed, testable, faults, config)
+        return run_sharded_campaign(
+            mixed, testable, faults, config, progress=progress
+        )
     engine_instance = get_engine(config.engine)
     outcomes = engine_instance.run(
         mixed,

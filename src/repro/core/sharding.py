@@ -220,6 +220,7 @@ def _write_checkpoint(
     # Imported lazily: repro.api.artifact imports repro.core, so a
     # module-level import here would be a cycle.
     from ..api.artifact import Artifact
+    from .atomic_io import write_artifact_atomic
 
     artifact = Artifact.from_campaign_shard(
         CampaignResult(outcomes=run.outcomes),
@@ -232,29 +233,21 @@ def _write_checkpoint(
         # still reports which backend/engines produced its outcomes.
         meta={"diagnostics": run.diagnostics or {}},
     )
-    path = checkpoint_path(directory, run.index, shards)
-    temporary = path.with_name(path.name + ".tmp")
-    temporary.write_text(artifact.to_json() + "\n")
-    temporary.replace(path)  # atomic: a killed run never leaves a torn file
-    return path
+    return write_artifact_atomic(
+        checkpoint_path(directory, run.index, shards), artifact
+    )
 
 
 def _load_checkpoint(
     directory: str | Path, index: int, shards: int, fingerprint: str
 ) -> ShardRun | None:
     """A shard's checkpoint, or ``None`` if missing, torn or stale."""
-    from ..api.artifact import Artifact
+    from .atomic_io import read_artifact
 
-    path = checkpoint_path(directory, index, shards)
-    if not path.exists():
-        return None
-    try:
-        artifact = Artifact.load(path)
-    except (ValueError, KeyError, TypeError, AttributeError, OSError):
-        # Torn, foreign or wrong-shaped file (e.g. a JSON list falls
-        # into the legacy program adapter): recompute the shard.
-        return None
-    if artifact.kind != "campaign-shard":
+    artifact = read_artifact(
+        checkpoint_path(directory, index, shards), kind="campaign-shard"
+    )
+    if artifact is None:
         return None
     payload = artifact.payload
     if (
@@ -286,6 +279,7 @@ def run_sharded_campaign(
     steps: Sequence,
     faults: Sequence[FaultSpec],
     config: CampaignConfig,
+    progress=None,
 ) -> CampaignResult:
     """Execute a pre-drawn fault population in deterministic shards.
 
@@ -296,6 +290,13 @@ def run_sharded_campaign(
     same population exactly.  With ``config.checkpoint_dir`` set,
     completed shards persist as ``campaign-shard`` artifacts and valid
     checkpoints are reused instead of re-executed.
+
+    ``progress``, when given, is called in the parent with each
+    completed (or checkpoint-resumed) :class:`ShardRun` the moment it
+    lands — the streaming hook the service layer's job events ride on.
+    An exception raised by the callback aborts the campaign (completed
+    shards keep their checkpoints), which is how a job cancellation
+    interrupts a run between shards.
     """
     shards = config.shards
     bounds = shard_bounds(len(faults), shards)
@@ -309,6 +310,8 @@ def run_sharded_campaign(
             loaded = _load_checkpoint(directory, index, shards, fingerprint)
             if loaded is not None:
                 runs[index] = loaded
+                if progress is not None:
+                    progress(loaded)
 
     pending = [index for index in range(shards) if index not in runs]
     context = _ShardContext(mixed, steps, faults, bounds, config)
@@ -329,6 +332,10 @@ def run_sharded_campaign(
         runs[run.index] = run
         if directory is not None:
             _write_checkpoint(directory, run, shards, fingerprint, mixed.name)
+        if progress is not None:
+            # Called after the checkpoint is durable: a callback that
+            # aborts the campaign never loses the shard it saw land.
+            progress(run)
 
     if use_processes:
         global _fork_context

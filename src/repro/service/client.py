@@ -1,0 +1,171 @@
+"""A thin stdlib client for the service API (the CLI verbs' transport).
+
+:class:`ServiceClient` speaks the :mod:`repro.service.http` JSON
+contract over :mod:`urllib.request` — no new dependencies, usable from
+scripts and tests alike::
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    job = client.submit("fig4", campaign={"faults_per_element": 3})
+    done = client.wait(job["job_id"])
+    artifact = client.artifact(done["artifact"])
+
+Failures surface as :class:`ServiceError` — an :class:`OSError`
+subclass carrying the server's one-line JSON error message, so the CLI
+maps it (like every other I/O failure) to a clean ``exit 2``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..api.artifact import Artifact
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(OSError):
+    """The service refused or failed a request (carries HTTP status)."""
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Typed calls over the service's HTTP/JSON routes."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> str:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", method=method
+        )
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, data=data, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(detail)["error"]
+            except (ValueError, KeyError, TypeError):
+                message = detail.strip() or error.reason
+            raise ServiceError(
+                f"service error ({error.code}): {message}", error.code
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        return json.loads(self._request(method, path, body))
+
+    # -- routes ---------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz`` — liveness plus scheduler/store counters."""
+        return self._json("GET", "/healthz")
+
+    def circuits(self, kind: str | None = None) -> list[dict]:
+        """``GET /circuits`` — the server's registry listing."""
+        suffix = f"?kind={kind}" if kind else ""
+        return self._json("GET", f"/circuits{suffix}")["circuits"]
+
+    def submit(
+        self,
+        circuit: str,
+        campaign: dict | None = None,
+        generator: dict | None = None,
+        atpg: dict | None = None,
+    ) -> dict:
+        """``POST /jobs`` — submit a spec; returns the job summary row
+        (``deduplicated`` rides along under that key)."""
+        spec: dict = {"circuit": circuit}
+        if campaign:
+            spec["campaign"] = campaign
+        if generator:
+            spec["generator"] = generator
+        if atpg:
+            spec["atpg"] = atpg
+        document = self._json("POST", "/jobs", spec)
+        job = document["job"]
+        job["deduplicated"] = document["deduplicated"]
+        return job
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        """``GET /jobs`` — summary rows, oldest first."""
+        suffix = f"?state={state}" if state else ""
+        return self._json("GET", f"/jobs{suffix}")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        """``GET /jobs/{id}`` — the full job document."""
+        return self._json("GET", f"/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/{id}`` — cancel queued/running work."""
+        return self._json("DELETE", f"/jobs/{job_id}")["job"]
+
+    def events(self, job_id: str, after: int = -1) -> dict:
+        """``GET /jobs/{id}/events`` — events with ``seq > after``."""
+        return self._json("GET", f"/jobs/{job_id}/events?after={after}")
+
+    def artifact_text(self, fingerprint: str) -> str:
+        """``GET /artifacts/{fp}`` — the stored JSON, byte-for-byte."""
+        return self._request("GET", f"/artifacts/{fingerprint}")
+
+    def artifact(self, fingerprint: str) -> Artifact:
+        """The stored artifact, decoded."""
+        return Artifact.from_json(self.artifact_text(fingerprint))
+
+    # -- conveniences ---------------------------------------------------
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`ServiceError` on timeout — never on a ``failed``
+        job (the caller decides what failure means for them).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s waiting for job "
+                    f"{job_id} (state: {job['state']})"
+                )
+            time.sleep(poll)
+
+    def stream_events(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ):
+        """Generator over a job's events until it goes terminal."""
+        deadline = time.monotonic() + timeout
+        after = -1
+        while True:
+            page = self.events(job_id, after=after)
+            for event in page["events"]:
+                after = event["seq"]
+                yield event
+            if page["state"] in ("done", "failed", "cancelled"):
+                return
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.0f}s streaming job {job_id}"
+                )
+            time.sleep(poll)

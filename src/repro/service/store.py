@@ -1,0 +1,127 @@
+"""Content-addressed artifact store: fingerprint in, artifact out.
+
+The store maps a **fingerprint** — a sha256 hex digest of the work that
+produced a result, in the style of
+:func:`repro.core.sharding.campaign_fingerprint` — to one versioned
+:class:`repro.api.Artifact` JSON document on disk:
+
+    <root>/objects/<fp[:2]>/<fp>.json
+
+Identical work therefore has exactly one slot: a second ``put`` of the
+same fingerprint is a no-op, and a second *submission* of the same job
+spec is served from the store instead of recomputed (the dedup the
+service layer's whole economics rest on).
+
+Durability follows the shard-checkpoint contract
+(:mod:`repro.core.atomic_io`): writes are atomic (temp file +
+``os.replace``), and a torn, foreign or wrong-kind entry reads back as a
+miss — never an error.  The store is safe to share between the worker
+threads of one scheduler and between processes pointed at the same
+directory.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..api.artifact import Artifact
+from ..api.config import ConfigError
+from ..core.atomic_io import read_artifact, write_artifact_atomic
+
+__all__ = ["fingerprint_of", "ArtifactStore"]
+
+#: a store key is a full sha256 hex digest — nothing else.  Validating
+#: the shape up front keeps ``GET /artifacts/{fp}`` free of path games.
+_FINGERPRINT = re.compile(r"^[0-9a-f]{64}$")
+
+
+def fingerprint_of(document: dict) -> str:
+    """Canonical sha256 fingerprint of a JSON-encodable document."""
+    import hashlib
+    import json
+
+    encoded = json.dumps(document, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def _check_fingerprint(fingerprint: str) -> str:
+    if not isinstance(fingerprint, str) or not _FINGERPRINT.match(fingerprint):
+        raise ConfigError(
+            "fingerprint must be a 64-char sha256 hex digest, got "
+            f"{fingerprint!r}"
+        )
+    return fingerprint
+
+
+class ArtifactStore:
+    """A directory of artifacts keyed by content fingerprint."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> Path:
+        """Where the artifact for ``fingerprint`` lives (exists or not)."""
+        fingerprint = _check_fingerprint(fingerprint)
+        return self._objects / fingerprint[:2] / f"{fingerprint}.json"
+
+    def put(self, fingerprint: str, artifact: Artifact) -> Path:
+        """Store ``artifact`` under ``fingerprint``; first write wins.
+
+        A fingerprint names the *work*, and identical work yields
+        identical results — so an existing readable entry is kept
+        untouched and re-putting is free.  (A torn entry left by a
+        killed writer is replaced.)
+        """
+        path = self.path_for(fingerprint)
+        with self._lock:
+            if read_artifact(path) is None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                write_artifact_atomic(path, artifact)
+        return path
+
+    def get(self, fingerprint: str) -> Artifact | None:
+        """The stored artifact, or ``None`` on a miss (incl. torn files)."""
+        return read_artifact(self.path_for(fingerprint))
+
+    def has(self, fingerprint: str) -> bool:
+        """Whether a *readable* artifact is stored under ``fingerprint``."""
+        return self.get(fingerprint) is not None
+
+    # ------------------------------------------------------------------
+    def fingerprints(self) -> list[str]:
+        """Every fingerprint with an object file, sorted."""
+        return sorted(
+            path.stem
+            for path in self._objects.glob("??/*.json")
+            if _FINGERPRINT.match(path.stem)
+        )
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.has(fingerprint)
+
+    def gc(self, keep: Iterable[str]) -> list[str]:
+        """Drop every entry whose fingerprint is not in ``keep``.
+
+        Also sweeps stray ``*.tmp`` files left by killed writers.
+        Returns the fingerprints removed, sorted.
+        """
+        keep = {_check_fingerprint(fp) for fp in keep}
+        removed = []
+        with self._lock:
+            for fingerprint in self.fingerprints():
+                if fingerprint not in keep:
+                    self.path_for(fingerprint).unlink(missing_ok=True)
+                    removed.append(fingerprint)
+            for stray in self._objects.glob("??/*.tmp"):
+                stray.unlink(missing_ok=True)
+        return sorted(removed)

@@ -1,0 +1,91 @@
+"""The content-addressed artifact store: dedup, atomicity, torn files."""
+
+import json
+
+import pytest
+
+from repro.api import Artifact, ConfigError
+from repro.service import ArtifactStore, fingerprint_of
+
+
+def _artifact(tag: str) -> Artifact:
+    return Artifact(kind="experiment", circuit=None, payload={"name": tag, "rendered": tag, "seconds": 0.0})
+
+
+def _fp(tag: str) -> str:
+    return fingerprint_of({"tag": tag})
+
+
+class TestFingerprint:
+    def test_is_sha256_hex_and_deterministic(self):
+        assert _fp("a") == _fp("a")
+        assert _fp("a") != _fp("b")
+        assert len(_fp("a")) == 64
+        int(_fp("a"), 16)  # pure hex
+
+    def test_key_order_does_not_matter(self):
+        assert fingerprint_of({"a": 1, "b": 2}) == fingerprint_of({"b": 2, "a": 1})
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = _fp("one")
+        assert not store.has(fp)
+        assert store.get(fp) is None
+        store.put(fp, _artifact("one"))
+        assert store.has(fp)
+        assert fp in store
+        assert store.get(fp).payload["name"] == "one"
+        assert store.fingerprints() == [fp]
+        assert len(store) == 1
+
+    def test_first_write_wins(self, tmp_path):
+        """A fingerprint names the work: re-putting never clobbers."""
+        store = ArtifactStore(tmp_path)
+        fp = _fp("x")
+        store.put(fp, _artifact("original"))
+        store.put(fp, _artifact("imposter"))
+        assert store.get(fp).payload["name"] == "original"
+
+    def test_torn_entry_reads_as_miss_and_is_replaceable(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = _fp("torn")
+        path = store.path_for(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"artifact_version": 1, "kind": "exper')  # torn write
+        assert store.get(fp) is None
+        assert not store.has(fp)
+        store.put(fp, _artifact("healed"))  # torn entries may be replaced
+        assert store.get(fp).payload["name"] == "healed"
+
+    def test_foreign_json_reads_as_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = _fp("foreign")
+        path = store.path_for(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"not": "an artifact"}))
+        assert store.get(fp) is None
+
+    def test_bad_fingerprints_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for bad in ("", "deadbeef", "../../etc/passwd", "Z" * 64, 42, None):
+            with pytest.raises(ConfigError):
+                store.path_for(bad)
+
+    def test_gc_keeps_only_the_named_set(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fps = [_fp(tag) for tag in ("a", "b", "c")]
+        for fp, tag in zip(fps, ("a", "b", "c")):
+            store.put(fp, _artifact(tag))
+        stray = store.path_for(fps[0]).with_suffix(".tmp")
+        stray.write_text("killed writer leftovers")
+        removed = store.gc(keep=[fps[1]])
+        assert removed == sorted([fps[0], fps[2]])
+        assert store.fingerprints() == [fps[1]]
+        assert not stray.exists()
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(_fp("clean"), _artifact("clean"))
+        assert not list(tmp_path.rglob("*.tmp"))
