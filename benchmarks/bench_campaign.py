@@ -6,13 +6,22 @@ are identical, and reports the speedup as a ``BENCH`` JSON point::
 
     BENCH {"bench": "campaign", "circuit": "fig4", "speedup": ..., ...}
 
+A second point benchmarks the *batched* Sherman–Morrison precompute
+(multi-RHS ``deviation_batch``) against the historical per-fault loop of
+the same factorized engine, on a campaign harness built around the
+registry ``rc_ladder`` at 512 sections::
+
+    BENCH {"bench": "campaign-batch", "circuit": "rc-ladder-512", ...}
+
 Modes:
 
-* full (default)  — ``faults_per_element = 20``, best-of-3 timing, and a
-  hard gate: the factorized engine must be at least ``--min-speedup``
-  (default 5×) faster than the reference engine;
-* ``--smoke``     — small population, single timing pass, no speed gate
-  (CI runners are noisy); the outcome-equality check still applies.
+* full (default)  — ``faults_per_element = 20``, best-of-3 timing, and
+  hard gates: the factorized engine must be at least ``--min-speedup``
+  (default 5×) faster than the reference engine, and the batched path at
+  least ``--min-batch-speedup`` (default 3×) faster than the loop;
+* ``--smoke``     — small population and ladder, single timing pass, no
+  speed gates (CI runners are noisy); the outcome-equality checks still
+  apply.
 
 Exit status is non-zero when any enabled check fails, so the script
 doubles as a CI gate next to ``python -m repro bench-smoke``.
@@ -52,6 +61,115 @@ def _time_engine(mixed, report, config: CampaignConfig, repeats: int):
     return best, result
 
 
+def _ladder_campaign_harness(n_sections: int):
+    """A campaign-shaped workload at ``rc_ladder(n_sections)`` scale.
+
+    The registry ladder is wrapped in a :class:`MixedSignalCircuit` with
+    the fig3 digital block and a flash converter whose two thresholds
+    are placed a few µV apart, bracketing the fault-free response: any
+    fault that moves the observed gain crosses one comparator, so the
+    engine's own-step early exit fires for essentially every fault —
+    the same regime the fig4 campaign runs in, at 512-ladder scale.
+    One hand-built test step per ladder element, all at one stimulus
+    frequency near the ladder's cut-off (where single-element
+    sensitivity is maximal).
+    """
+    from types import SimpleNamespace
+
+    from repro.atpg import AnalogStimulus
+    from repro.circuits import (
+        FIG3_CONSTRAINT_LINES,
+        LADDER_OUTPUT,
+        LADDER_SOURCE,
+        fig3_circuit,
+        rc_ladder,
+    )
+    from repro.conversion import FlashAdc
+    from repro.core.coverage import AnalogElementTest, AnalogTestStatus
+    from repro.core.mixed_circuit import MixedSignalCircuit
+    from repro.digital import simulate
+    from repro.spice import MnaSolver
+
+    analog = rc_ladder(n_sections)
+    # Thresholds 2.5 V ± 2.5 µV: the middle ladder resistor is six
+    # orders of magnitude below its neighbours.
+    adc = FlashAdc(
+        n_comparators=2, v_top=5.0, resistor_values=[1.0e6, 2.0, 1.0e6]
+    )
+    digital = fig3_circuit()
+    mixed = MixedSignalCircuit(
+        name=f"rc-ladder-{n_sections}-campaign",
+        analog=analog,
+        analog_source=LADDER_SOURCE,
+        analog_output=LADDER_OUTPUT,
+        adc=adc,
+        digital=digital,
+        converter_lines=list(FIG3_CONSTRAINT_LINES),
+    )
+    # Stimulus near the distributed-RC cut-off, where the end-node
+    # response is sensitive to every section.
+    r_ohms, c_farads = 1.0e3, 1.0e-9
+    frequency = 1.0 / (n_sections**2 * r_ohms * c_farads)
+    with _unit_ac(analog, LADDER_SOURCE):
+        gain = abs(
+            MnaSolver(analog).solve(frequency).voltage(LADDER_OUTPUT)
+        )
+    thresholds = adc.thresholds()
+    amplitude = (thresholds[0] + thresholds[1]) / (2.0 * gain)
+    # A free-input vector under which both possible code flips
+    # (1,0) -> (1,1) and (1,0) -> (0,0) reach a digital output.
+    lines = list(FIG3_CONSTRAINT_LINES)
+    free = [name for name in digital.inputs if name not in lines]
+
+    def words(vector, code):
+        assignment = dict(vector)
+        assignment.update(zip(lines, code))
+        response = simulate(digital, assignment)
+        return tuple(response[o] for o in digital.outputs)
+
+    vector = None
+    for bits in range(1 << len(free)):
+        candidate = {
+            name: (bits >> i) & 1 for i, name in enumerate(free)
+        }
+        good = words(candidate, (1, 0))
+        if good != words(candidate, (1, 1)) and good != words(
+            candidate, (0, 0)
+        ):
+            vector = candidate
+            break
+    assert vector is not None, "no propagating vector for the fig3 block"
+
+    stimulus = AnalogStimulus(amplitude=amplitude, frequency_hz=frequency)
+    steps = [
+        AnalogElementTest(
+            element=element,
+            status=AnalogTestStatus.TESTABLE,
+            parameter="AAC",
+            ed_percent=40.0,
+            stimulus=stimulus,
+            vector=dict(vector),
+            observing_output=digital.outputs[0],
+        )
+        for element in analog.element_names()
+    ]
+    return mixed, SimpleNamespace(analog_tests=steps)
+
+
+class _unit_ac:
+    """Temporarily drive one source at unit AC amplitude."""
+
+    def __init__(self, circuit, source_name):
+        self._source = circuit.component(source_name)
+
+    def __enter__(self):
+        self._saved = (self._source.ac, self._source.dc)
+        self._source.ac, self._source.dc = 1.0, 0.0
+
+    def __exit__(self, *exc_info):
+        self._source.ac, self._source.dc = self._saved
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--circuit", default="fig4")
@@ -63,8 +181,25 @@ def main(argv=None) -> int:
         help="fail unless factorized is at least this much faster",
     )
     parser.add_argument(
+        "--batch-sections", type=int, default=512,
+        help="rc_ladder size for the batched-vs-looped comparison",
+    )
+    parser.add_argument(
+        "--batch-faults-per-element", type=int, default=2,
+        help="population density for the batched-vs-looped comparison",
+    )
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=3.0,
+        help="fail unless the batched engine beats the per-fault loop "
+        "by at least this factor",
+    )
+    parser.add_argument(
+        "--skip-batch", action="store_true",
+        help="skip the batched-vs-looped ladder comparison",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
-        help="small population, one timing pass, no speed gate",
+        help="small population and ladder, one timing pass, no speed gates",
     )
     parser.add_argument("--json", metavar="PATH", default=None)
     args = parser.parse_args(argv)
@@ -113,8 +248,6 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
     }
     print("BENCH " + json.dumps(point, sort_keys=True))
-    if args.json:
-        Path(args.json).write_text(json.dumps(point, indent=2, sort_keys=True) + "\n")
 
     failures = []
     if not identical:
@@ -125,13 +258,81 @@ def main(argv=None) -> int:
         failures.append(
             f"speedup {speedup:.1f}x below the {args.min_speedup:.1f}x gate"
         )
+
+    batch_point = None
+    if not args.skip_batch:
+        sections = 64 if args.smoke else args.batch_sections
+        mixed_ladder, ladder_report = _ladder_campaign_harness(sections)
+
+        def batch_config(batch: bool) -> CampaignConfig:
+            return CampaignConfig(
+                faults_per_element=args.batch_faults_per_element,
+                seed=args.seed,
+                batch=batch,
+            )
+
+        # Warm both paths (imports, symbolic analysis, LU caches).
+        warm = batch_config(True).replace(faults_per_element=1)
+        run_campaign(mixed_ladder, ladder_report, config=warm)
+        run_campaign(
+            mixed_ladder, ladder_report, config=warm.replace(batch=False)
+        )
+        t_looped, looped = _time_engine(
+            mixed_ladder, ladder_report, batch_config(False), repeats
+        )
+        t_batched, batched = _time_engine(
+            mixed_ladder, ladder_report, batch_config(True), repeats
+        )
+        batch_identical = batched.outcomes == looped.outcomes
+        batch_speedup = (
+            t_looped / t_batched if t_batched > 0 else float("inf")
+        )
+        batch_point = {
+            "bench": "campaign-batch",
+            "circuit": f"rc-ladder-{sections}",
+            "faults_per_element": args.batch_faults_per_element,
+            "seed": args.seed,
+            "n_faults": batched.n_injected,
+            "looped_s": round(t_looped, 6),
+            "batched_s": round(t_batched, 6),
+            "speedup": round(batch_speedup, 2),
+            "identical_outcomes": batch_identical,
+            "detection_rate": round(batched.detection_rate(), 4),
+            "multi_rhs_columns": batched.diagnostics["multi_rhs_columns"],
+            "smoke": args.smoke,
+        }
+        print("BENCH " + json.dumps(batch_point, sort_keys=True))
+        if not batch_identical:
+            failures.append(
+                "batched and looped engines disagreed on the outcome list"
+            )
+        if batched.n_injected == 0:
+            failures.append("batched campaign injected no faults")
+        if not args.smoke and batch_speedup < args.min_batch_speedup:
+            failures.append(
+                f"batch speedup {batch_speedup:.1f}x below the "
+                f"{args.min_batch_speedup:.1f}x gate"
+            )
+
+    if args.json:
+        document = point if batch_point is None else [point, batch_point]
+        Path(args.json).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+
     for failure in failures:
         print(f"bench_campaign: FAIL — {failure}", file=sys.stderr)
     if not failures:
-        print(
+        summary = (
             f"bench_campaign: ok — {reference.n_injected} faults, "
-            f"{speedup:.1f}x, identical outcomes"
+            f"{speedup:.1f}x vs reference"
         )
+        if batch_point is not None:
+            summary += (
+                f"; batch {batch_point['n_faults']} faults, "
+                f"{batch_point['speedup']:.1f}x vs loop"
+            )
+        print(summary)
     return 1 if failures else 0
 
 

@@ -16,8 +16,13 @@ fault population and one detection semantics:
   against that factorization, faulty gains are memoized per
   ``(element, deviation, frequency)``, digital fault propagation is
   memoized per ``(step, faulty code)``, and the program step that
-  targets the faulted element is tried first (early exit).  Optionally
-  fans out over faults with a thread pool.
+  targets the faulted element is tried first (early exit).  Execution
+  is *batch, then walk*: the whole population's own-step gains are
+  precomputed up front (:meth:`repro.spice.FactorizedMna.
+  deviation_batch` — one multi-RHS backend solve per distinct stimulus
+  frequency, vectorized update scalars), and the detection walk then
+  runs almost entirely on memo hits.  Optionally fans out over faults
+  with a thread pool.
 
 Both engines walk the program steps in the same order (the faulted
 element's own step first), so — floating-point coincidences at a
@@ -127,6 +132,14 @@ def draw_faults(
     The draw order (per element: severity, then direction) is the
     campaign's historical RNG contract — outcomes for a given seed stay
     comparable across engines and releases.
+
+    Negative deviations are clamped at −0.95 to keep element values
+    positive; a clamped fault's ``severity`` is recomputed from the
+    deviation it was actually injected with (``|deviation| / ed``), so
+    severity-bucketed statistics (``detection_rate(min_severity)``,
+    ``guaranteed_detection_rate``) never score a fault under a severity
+    it no longer has.  The clamp consumes no RNG draws, so seeded
+    populations keep their historical element/deviation streams.
     """
     faults: list[FaultSpec] = []
     for test in testable:
@@ -137,6 +150,7 @@ def draw_faults(
             deviation = direction * severity * ed
             if deviation <= -0.95:
                 deviation = -0.95  # keep element values positive
+                severity = abs(deviation) / ed
             faults.append(FaultSpec(test.element, deviation, severity))
     return faults
 
@@ -180,10 +194,14 @@ class CampaignEngine:
     backend the engine's analog solves go through; ``factor_cache_size``
     bounds the engine's factorization LRU; ``digital_engine`` selects
     the digital-response evaluator (the compiled levelized circuit or
-    the reference interpreter).  After :meth:`run` returns,
+    the reference interpreter); ``batch`` enables the batched
+    Sherman–Morrison gain precompute inside the factorized engine
+    (identical outcomes either way — the knob exists for benchmarking
+    and bisection).  After :meth:`run` returns,
     :attr:`last_diagnostics` describes what actually ran (backend name,
-    cache hit/miss counters) — use :func:`get_engine` to obtain a fresh
-    instance per campaign so concurrent campaigns never share it.
+    cache hit/miss counters, multi-RHS solve counters) — use
+    :func:`get_engine` to obtain a fresh instance per campaign so
+    concurrent campaigns never share it.
     """
 
     name = "abstract"
@@ -201,6 +219,7 @@ class CampaignEngine:
         backend: str = "auto",
         factor_cache_size: int | None = None,
         digital_engine: str = "compiled",
+        batch: bool = True,
     ) -> list[InjectionOutcome]:
         raise NotImplementedError
 
@@ -224,10 +243,12 @@ class ReferenceEngine(CampaignEngine):
         backend: str = "auto",
         factor_cache_size: int | None = None,
         digital_engine: str = "compiled",
+        batch: bool = True,
     ) -> list[InjectionOutcome]:
-        # The oracle deliberately ignores the backend and digital-engine
-        # selectors: its whole point is the unoptimized re-solve and
-        # re-interpret path the fast engine is checked against.
+        # The oracle deliberately ignores the backend, digital-engine
+        # and batch selectors: its whole point is the unoptimized
+        # re-solve and re-interpret path the fast engine is checked
+        # against.
         self.last_diagnostics = {
             "engine": self.name,
             "backend": "dense",
@@ -289,11 +310,27 @@ class FactorizedEngine(CampaignEngine):
     """LU-factorized fast path: same outcomes, ~an order of magnitude
     less work per fault.
 
-    Cost model per fault: one memoized Sherman–Morrison update (two
-    triangular solves) for the own-element step, which almost always
-    detects and exits early — versus the reference engine's full matrix
-    assembly and dense solve per (fault, step) pair, twice (good and
-    faulty circuit).
+    Execution order is **batch, then walk**: after the per-frequency LU
+    factorizations and the good-circuit responses are hoisted, every
+    fault's *own-step* gains — the gains the early exit almost always
+    decides on — are computed up front by
+    :meth:`repro.spice.FactorizedMna.deviation_batch`, one multi-RHS
+    backend solve per distinct stimulus frequency, and published into
+    the gain memo.  The detection walk that follows keeps the exact
+    ``step_order`` early-exit semantics of the per-fault path, but runs
+    almost entirely on memo hits; only a fault that survives its own
+    steps pays further (lazily computed, memoized) per-fault updates on
+    the remaining steps.  ``batch=False`` restores the historical
+    loop-only execution — same outcome list, useful for benchmarking
+    the batch win and for bisection.
+
+    Cost model per fault, looped: one memoized Sherman–Morrison update
+    (two triangular solves) for the own-element step — versus the
+    reference engine's full matrix assembly and dense solve per
+    (fault, step) pair, twice (good and faulty circuit).  Batched, the
+    per-direction triangular solves collapse into one multi-RHS call
+    per frequency and the update scalars vectorize across the whole
+    population, removing the per-fault Python/solver round trips.
     """
 
     name = "factorized"
@@ -307,9 +344,30 @@ class FactorizedEngine(CampaignEngine):
         backend: str = "auto",
         factor_cache_size: int | None = None,
         digital_engine: str = "compiled",
+        batch: bool = True,
     ) -> list[InjectionOutcome]:
         if not faults:
-            self.last_diagnostics = {"engine": self.name, "backend": None}
+            # Emit the full diagnostics shape even with nothing to do:
+            # empty shards land in the same artifact/service pipelines
+            # as full ones, and consumers key into these fields.
+            self.last_diagnostics = {
+                "engine": self.name,
+                "digital_engine": digital_engine,
+                "batch": batch,
+                "batched_gains": 0,
+                "backend": None,
+                "hits": 0,
+                "misses": 0,
+                "size": 0,
+                "max_size": (
+                    factor_cache_size
+                    if factor_cache_size is not None
+                    else MnaSolver.FACTOR_CACHE_MAX
+                ),
+                "solve_calls": 0,
+                "multi_rhs_solves": 0,
+                "multi_rhs_columns": 0,
+            }
             return []
         circuit = mixed.analog
         output = mixed.analog_output
@@ -343,8 +401,11 @@ class FactorizedEngine(CampaignEngine):
                     factorized[frequency] = system
                     good_gain[frequency] = abs(system.solution().voltage(output))
             # Good codes and good digital responses, hoisted per step.
+            # The response depends only on (vector, code), so steps that
+            # share both share one digital simulation.
             good_codes: list[tuple[int, ...]] = []
             good_words: list[tuple[int, ...]] = []
+            word_memo: dict[tuple, tuple[int, ...]] = {}
             for step in steps:
                 stimulus = step.stimulus
                 code = _convert(
@@ -352,14 +413,39 @@ class FactorizedEngine(CampaignEngine):
                     stimulus.amplitude * good_gain[stimulus.frequency_hz],
                 )
                 good_codes.append(code)
-                assignment = dict(step.vector)
-                for line, bit in zip(converter_lines, code):
-                    assignment[line] = bit
-                good_words.append(respond(assignment))
-            orders = {
-                element: step_order(steps, element)
-                for element in {fault.element for fault in faults}
-            }
+                word_key = (tuple(step.vector.items()), code)
+                word = word_memo.get(word_key)
+                if word is None:
+                    assignment = dict(step.vector)
+                    for line, bit in zip(converter_lines, code):
+                        assignment[line] = bit
+                    word = word_memo.setdefault(word_key, respond(assignment))
+                good_words.append(word)
+            own_steps: dict[str, list[int]] = {}
+            for index, step in enumerate(steps):
+                own_steps.setdefault(step.element, []).append(index)
+            if batch:
+                # Lazy step order: the early-exit prefix (the fault's
+                # own steps) comes from one grouping pass; the tail is
+                # streamed only for faults that survive it.  At ladder
+                # scale the historical eager per-element step_order
+                # materialization is quadratic in the step count and
+                # dominates the whole campaign.
+                def order_of(element):
+                    yield from own_steps.get(element, ())
+                    for index, step in enumerate(steps):
+                        if step.element != element:
+                            yield index
+            else:
+                # Historical execution, kept bit-for-bit for
+                # benchmarking and bisection: eager per-element orders.
+                orders = {
+                    element: step_order(steps, element)
+                    for element in {fault.element for fault in faults}
+                }
+
+                def order_of(element):
+                    return orders[element]
             # Memoization across faults and steps.  The memos are shared
             # by every worker thread, so all access is lock-guarded and
             # first-write-wins (``setdefault``): every thread observes
@@ -368,45 +454,111 @@ class FactorizedEngine(CampaignEngine):
             # the GIL making plain-dict races benign.
             memo_lock = threading.Lock()
             gain_memo: dict[tuple[str, float, float], float] = {}
-            detect_memo: dict[tuple[int, tuple[int, ...]], bool] = {}
+            detect_memo: dict[tuple, bool] = {}
 
-            def evaluate(fault: FaultSpec) -> tuple[bool, str | None]:
-                for index in orders[fault.element]:
-                    step = steps[index]
-                    stimulus = step.stimulus
-                    gain_key = (
-                        fault.element,
-                        fault.deviation,
-                        stimulus.frequency_hz,
+            # Batch-then-walk: precompute every fault's own-step gains
+            # — the gains the early exit almost always decides on — as
+            # one deviation_batch per distinct stimulus frequency, so
+            # the walk below starts with the memo already hot.  Runs
+            # before any thread fan-out, so the memo needs no lock yet.
+            batched_gains = 0
+            if batch:
+                pending: dict[float, dict[tuple[str, float], None]] = {}
+                for fault in faults:
+                    for idx in own_steps.get(fault.element, ()):
+                        step = steps[idx]
+                        pending.setdefault(step.stimulus.frequency_hz, {})[
+                            (fault.element, fault.deviation)
+                        ] = None
+                for frequency, keyed in pending.items():
+                    pairs = list(keyed)
+                    values = factorized[frequency].deviation_batch(
+                        pairs, output
+                    )
+                    for (element, deviation), value in zip(pairs, values):
+                        gain_memo[(element, deviation, frequency)] = abs(
+                            complex(value)
+                        )
+                    batched_gains += len(pairs)
+
+            def fault_gain(fault: FaultSpec, frequency: float) -> float:
+                gain_key = (fault.element, fault.deviation, frequency)
+                with memo_lock:
+                    gain = gain_memo.get(gain_key)
+                if gain is None:
+                    # Compute outside the lock (the solve dominates),
+                    # then publish; a concurrent first writer wins.
+                    computed = abs(
+                        factorized[frequency].deviated_voltage(
+                            fault.element, fault.deviation, output
+                        )
                     )
                     with memo_lock:
-                        gain = gain_memo.get(gain_key)
-                    if gain is None:
-                        # Compute outside the lock (the solve dominates),
-                        # then publish; a concurrent first writer wins.
-                        computed = abs(
-                            factorized[stimulus.frequency_hz].deviated_voltage(
-                                fault.element, fault.deviation, output
-                            )
-                        )
-                        with memo_lock:
-                            gain = gain_memo.setdefault(gain_key, computed)
-                    code = _convert(thresholds, stimulus.amplitude * gain)
-                    if code == good_codes[index]:
-                        continue  # conversion masks the fault at this step
-                    detect_key = (index, code)
+                        gain = gain_memo.setdefault(gain_key, computed)
+                return gain
+
+            def detect(index: int, code: tuple[int, ...]) -> bool:
+                # Whether a faulty code is told apart from the good word
+                # depends only on (vector, code, good word) — steps that
+                # agree on all three share one digital simulation.
+                step = steps[index]
+                detect_key = (
+                    tuple(step.vector.items()),
+                    code,
+                    good_words[index],
+                )
+                with memo_lock:
+                    hit = detect_memo.get(detect_key)
+                if hit is None:
+                    assignment = dict(step.vector)
+                    for line, bit in zip(converter_lines, code):
+                        assignment[line] = bit
+                    computed = respond(assignment) != good_words[index]
                     with memo_lock:
-                        hit = detect_memo.get(detect_key)
-                    if hit is None:
-                        assignment = dict(step.vector)
-                        for line, bit in zip(converter_lines, code):
-                            assignment[line] = bit
-                        computed = respond(assignment) != good_words[index]
-                        with memo_lock:
-                            hit = detect_memo.setdefault(detect_key, computed)
-                    if hit:
-                        return True, step.element
-                return False, None
+                        hit = detect_memo.setdefault(detect_key, computed)
+                return hit
+
+            if batch:
+
+                def evaluate(fault: FaultSpec) -> tuple[bool, str | None]:
+                    # A fault's converted code depends only on the
+                    # stimulus, never on the step, so one small
+                    # per-fault memo collapses the undetected-fault
+                    # tail walk to dict lookups.
+                    codes: dict[tuple[float, float], tuple[int, ...]] = {}
+                    for index in order_of(fault.element):
+                        stimulus = steps[index].stimulus
+                        code_key = (
+                            stimulus.frequency_hz,
+                            stimulus.amplitude,
+                        )
+                        code = codes.get(code_key)
+                        if code is None:
+                            gain = fault_gain(fault, stimulus.frequency_hz)
+                            code = _convert(
+                                thresholds, stimulus.amplitude * gain
+                            )
+                            codes[code_key] = code
+                        if code == good_codes[index]:
+                            continue  # conversion masks the fault here
+                        if detect(index, code):
+                            return True, steps[index].element
+                    return False, None
+
+            else:
+
+                def evaluate(fault: FaultSpec) -> tuple[bool, str | None]:
+                    # Historical per-step walk, kept bit-for-bit for
+                    # benchmarking and bisection under ``batch=False``.
+                    for index in order_of(fault.element):
+                        stimulus = steps[index].stimulus
+                        gain = fault_gain(fault, stimulus.frequency_hz)
+                        code = _convert(thresholds, stimulus.amplitude * gain)
+                        if code == good_codes[index]:
+                            continue  # conversion masks the fault here
+                        if detect(index, code):
+                            return True, steps[index].element
+                    return False, None
 
             if max_workers is not None and max_workers > 1 and len(faults) > 1:
                 workers = min(max_workers, len(faults))
@@ -416,10 +568,21 @@ class FactorizedEngine(CampaignEngine):
                     verdicts = list(pool.map(evaluate, faults))
             else:
                 verdicts = [evaluate(fault) for fault in faults]
+        solve_stats = {
+            "solve_calls": 0,
+            "multi_rhs_solves": 0,
+            "multi_rhs_columns": 0,
+        }
+        for system in factorized.values():
+            for key, value in system.solve_stats().items():
+                solve_stats[key] += value
         self.last_diagnostics = {
             "engine": self.name,
             "digital_engine": digital_engine,
+            "batch": batch,
+            "batched_gains": batched_gains,
             **solver.cache_stats(),
+            **solve_stats,
         }
         return [
             InjectionOutcome(

@@ -101,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on retained LU factorizations",
     )
     p_camp.add_argument(
+        "--no-batch", dest="batch", action="store_const", const=False,
+        default=None,
+        help="disable the multi-RHS batched Sherman-Morrison precompute "
+        "(per-fault loop; identical outcomes, slower)",
+    )
+    p_camp.add_argument(
         "--shards", type=int, default=None, metavar="N",
         help="split the seeded fault population into N deterministic "
         "shards executed in worker processes (outcomes identical to "
@@ -318,6 +324,7 @@ def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
         backend=args.backend,
         factor_cache_size=args.factor_cache_size,
         digital_engine=args.digital_engine,
+        batch=args.batch,
         shards=args.shards,
         shard_workers=args.shard_workers,
         checkpoint_dir=args.resume_from,

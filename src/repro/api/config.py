@@ -162,6 +162,12 @@ class CampaignConfig(_Replaceable):
             evaluation, the default) or ``"reference"`` (the classic
             dict-walking interpreter).  The ``"reference"`` *campaign*
             engine always uses the interpreter: it is the oracle.
+        batch: precompute the whole population's own-step gains with
+            one multi-RHS Sherman–Morrison batch solve per stimulus
+            frequency before the detection walk (the default).
+            ``False`` restores the historical per-fault loop.  Purely
+            an execution strategy: outcomes are identical either way,
+            so the flag is excluded from campaign fingerprints.
         shards: split the seeded fault population into this many
             deterministic, contiguous index slices executed in worker
             *processes* (:mod:`repro.core.sharding`); ``1`` (the
@@ -185,6 +191,7 @@ class CampaignConfig(_Replaceable):
     backend: str = "auto"
     factor_cache_size: int = 64
     digital_engine: str = "compiled"
+    batch: bool = True
     shards: int = 1
     shard_workers: int | None = None
     checkpoint_dir: str | None = None
@@ -225,6 +232,10 @@ class CampaignConfig(_Replaceable):
             self.digital_engine in DIGITAL_ENGINES,
             f"digital_engine must be one of {DIGITAL_ENGINES}, got "
             f"{self.digital_engine!r}",
+        )
+        _require(
+            isinstance(self.batch, bool),
+            f"batch must be a bool, got {self.batch!r}",
         )
         _require(
             self.shards >= 1,

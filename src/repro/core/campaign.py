@@ -109,6 +109,7 @@ def run_campaign(
         backend=config.backend,
         factor_cache_size=config.factor_cache_size,
         digital_engine=config.digital_engine,
+        batch=config.batch,
     )
     return CampaignResult(
         outcomes=outcomes, diagnostics=engine_instance.last_diagnostics

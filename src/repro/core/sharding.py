@@ -118,10 +118,11 @@ def campaign_fingerprint(
     the faults run against (stimulus and digital vector per step — a
     regenerated program must never be scored with another program's
     checkpoints) and every config field that can influence an outcome.
-    Shard counts, worker counts and the checkpoint directory are
-    deliberately *excluded*: outcomes are independent of how the work
-    is split, so checkpoints stay valid across re-runs that only change
-    the fan-out.
+    Shard counts, worker counts, the checkpoint directory and the
+    ``batch`` execution-strategy flag are deliberately *excluded*:
+    outcomes are independent of how the work is split or batched, so
+    checkpoints stay valid across re-runs that only change the fan-out
+    or the solve strategy.
     """
     document = {
         "circuit": circuit_name,
@@ -189,6 +190,7 @@ def _execute_shard(context: _ShardContext, index: int) -> ShardRun:
         backend=config.backend,
         factor_cache_size=config.factor_cache_size,
         digital_engine=config.digital_engine,
+        batch=config.batch,
     )
     return ShardRun(
         index=index,

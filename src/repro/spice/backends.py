@@ -24,6 +24,13 @@ commits to a matrix storage format:
     frequencies and timesteps, so a 500-node AC sweep pays the pattern
     analysis once and only re-scatters numeric values per frequency.
 
+  Both factorizations serve single right-hand sides
+  (:meth:`LinearFactorization.solve`) and whole stacked blocks of them
+  (:meth:`LinearFactorization.solve_many` — one LAPACK ``getrs`` /
+  SuperLU ``gstrs`` call per block), with per-factorization solve
+  counters (:meth:`LinearFactorization.stats`) so batch-scale callers
+  like the campaign engine can report how much work amortized.
+
 * :func:`resolve_backend` — maps the user-facing ``"auto" | "dense" |
   "sparse"`` spelling (plus ready-made backend instances) to a backend;
   ``"auto"`` picks sparse at or above :data:`SPARSE_AUTO_THRESHOLD`
@@ -272,14 +279,64 @@ class SparsityPattern:
 
 
 class LinearFactorization:
-    """One factorized system, ready for repeated right-hand sides."""
+    """One factorized system, ready for repeated right-hand sides.
+
+    Subclasses implement :meth:`_solve` (one right-hand side) and, when
+    the underlying library has a native multi-RHS path, :meth:`_solve_many`
+    (a whole matrix of right-hand sides in one call).  The public
+    :meth:`solve`/:meth:`solve_many` wrappers maintain diagnostics
+    counters (:meth:`stats`) so campaign-scale callers can report how
+    much work actually amortized into multi-RHS calls.  The counters are
+    plain ints — under thread fan-out they are approximate, which is
+    fine for diagnostics.
+    """
 
     #: name of the backend that produced this factorization.
     backend_name = "abstract"
 
+    def __init__(self) -> None:
+        #: single-RHS solves served (:meth:`solve` calls).
+        self.solve_calls = 0
+        #: multi-RHS solves served (:meth:`solve_many` calls).
+        self.multi_rhs_solves = 0
+        #: total right-hand-side columns across all multi-RHS solves.
+        self.multi_rhs_columns = 0
+
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A·x = rhs`` against the stored factorization."""
+        self.solve_calls += 1
+        return self._solve(rhs)
+
+    def solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        """Solve ``A·X = B`` for a matrix ``B`` of stacked RHS columns.
+
+        One call, however many columns: the dense backend hands the
+        whole block to one LAPACK ``getrs``; the sparse backend hands it
+        to SuperLU's native multi-RHS triangular solve.  The default
+        implementation falls back to column-at-a-time :meth:`_solve`,
+        so custom factorizations stay correct without overriding.
+        """
+        self.multi_rhs_solves += 1
+        self.multi_rhs_columns += int(rhs_matrix.shape[1])
+        return self._solve_many(rhs_matrix)
+
+    def stats(self) -> dict:
+        """Solve-counter diagnostics for this factorization."""
+        return {
+            "solve_calls": self.solve_calls,
+            "multi_rhs_solves": self.multi_rhs_solves,
+            "multi_rhs_columns": self.multi_rhs_columns,
+        }
+
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def _solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        columns = [
+            self._solve(rhs_matrix[:, index])
+            for index in range(rhs_matrix.shape[1])
+        ]
+        return np.stack(columns, axis=1) if columns else rhs_matrix.copy()
 
     def solve_patched(self, entries, rhs: np.ndarray) -> np.ndarray:
         """One-off solve of ``(A + ΔA)·x = rhs``.
@@ -321,14 +378,20 @@ class _DenseFactorization(LinearFactorization):
     backend_name = "dense"
 
     def __init__(self, matrix: np.ndarray):
+        super().__init__()
         self._matrix = matrix
         self._lu = lu_factor(matrix, check_finite=False)
         diagonal = np.abs(np.diagonal(self._lu[0]))
         if not np.all(np.isfinite(diagonal)) or diagonal.min() == 0.0:
             raise SingularSystemError("zero pivot in dense LU factorization")
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
         return lu_solve(self._lu, rhs, check_finite=False)
+
+    def _solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        # scipy's lu_solve accepts a (n, k) right-hand side directly:
+        # one getrs call over the whole stacked block.
+        return lu_solve(self._lu, rhs_matrix, check_finite=False)
 
     def solve_patched(self, entries, rhs: np.ndarray) -> np.ndarray:
         matrix = self._matrix.copy()
@@ -366,6 +429,7 @@ class _SparseFactorization(LinearFactorization):
     backend_name = "sparse"
 
     def __init__(self, matrix: csc_matrix):
+        super().__init__()
         self._csc = matrix
         try:
             self._splu = splu(matrix)
@@ -375,8 +439,13 @@ class _SparseFactorization(LinearFactorization):
         if not np.all(np.isfinite(diagonal)) or diagonal.min() == 0.0:
             raise SingularSystemError("zero pivot in sparse LU factorization")
 
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
+    def _solve(self, rhs: np.ndarray) -> np.ndarray:
         return self._splu.solve(rhs)
+
+    def _solve_many(self, rhs_matrix: np.ndarray) -> np.ndarray:
+        # SuperLU's gstrs is natively multi-RHS: one C-level call
+        # triangular-solves the whole column block.
+        return self._splu.solve(rhs_matrix)
 
     def solve_patched(self, entries, rhs: np.ndarray) -> np.ndarray:
         patched = self._csc.tolil(copy=True)

@@ -18,7 +18,12 @@ LU factorization of the assembled matrix.  The factorization serves
   update (a one-element deviation perturbs only that element's stamp,
   which for every value-carrying component is a rank-one patch of the
   matrix), falling back to a dense solve of the patched matrix whenever
-  the perturbation is not rank one or the update is ill-conditioned.
+  the perturbation is not rank one or the update is ill-conditioned,
+* :meth:`FactorizedMna.deviation_batch`: the campaign-scale form of the
+  same update — a whole population of ``(element, deviation)`` faults
+  classified in one pass, every distinct update direction solved in a
+  single multi-RHS backend call, and the Sherman–Morrison scalars
+  evaluated as vectorized numpy expressions over the batch.
 
 :meth:`MnaSolver.solve_batch` reuses one factorization per distinct
 (frequency, deviation-state) pair across a whole batch of solves.
@@ -312,6 +317,15 @@ class FactorizedMna:
     #: deciding whether a stamp perturbation is rank one.
     RANK_TOL = 1e-12
 
+    #: the Sherman–Morrison denominator ``1 + wᵀy`` is declared
+    #: ill-conditioned — and the update routed through the dense patched
+    #: solve — when its magnitude falls below ``DENOM_RTOL · max(1,
+    #: |wᵀy|)``.  The test is *relative* to the update's own scale: an
+    #: absolute cutoff would let badly scaled systems (|wᵀy| ≫ 1) take
+    #: the cancellation-ridden fast branch, or needlessly reject tiny
+    #: but perfectly conditioned updates.
+    DENOM_RTOL = 1e-12
+
     def __init__(self, solver: MnaSolver, frequency_hz: float):
         self.solver = solver
         self.frequency_hz = frequency_hz
@@ -524,9 +538,11 @@ class FactorizedMna:
                     y = self._ys.setdefault(u_key, y)
         w_dot_y = sum(w * y[c] for c, w in zip(w_cols, w_vals))
         denominator = 1.0 + w_dot_y
-        if abs(denominator) < 1e-14:
-            # The update drives the system (near-)singular; the dense
-            # path raises a clean AnalogError if it truly is.
+        if abs(denominator) < self.DENOM_RTOL * max(1.0, abs(w_dot_y)):
+            # The update drives the system (near-)singular *relative to
+            # its own scale*: catastrophic cancellation would shred the
+            # fast branch, so take the dense path (which raises a clean
+            # AnalogError if the system truly is singular).
             return entries
         w_dot_x = sum(w * self._base[c] for c, w in zip(w_cols, w_vals))
         return y, w_dot_x / denominator
@@ -580,3 +596,181 @@ class FactorizedMna:
             return complex(self._patched_solve(update)[index])
         y, scale = update
         return complex(self._base[index] - y[index] * scale)
+
+    def solve_stats(self) -> dict:
+        """Solve-counter diagnostics of the underlying factorization.
+
+        ``solve_calls`` counts single-RHS triangular solves,
+        ``multi_rhs_solves``/``multi_rhs_columns`` the batched
+        :meth:`deviation_batch` traffic (one multi-RHS call per batch,
+        however many distinct update directions it carries).
+        """
+        return self._factorization.stats()
+
+    def deviation_batch(self, faults, node: str) -> np.ndarray:
+        """Observed-node voltages for a whole batch of deviations.
+
+        ``faults`` is a sequence of ``(element, deviation)`` pairs;
+        entry ``i`` of the returned complex array equals
+        ``deviated_voltage(element_i, deviation_i, node)`` — the same
+        Sherman–Morrison update, executed as array-level linear algebra
+        over the full batch:
+
+        1. every fault's stamp delta is factored ``ΔA = u·wᵀ`` exactly
+           as the per-fault path does;
+        2. every *distinct* update direction ``u`` not already in the
+           per-direction ``y = A⁻¹u`` cache becomes one column of a
+           single matrix handed to one
+           :meth:`~repro.spice.backends.LinearFactorization.solve_many`
+           call (fixed directions feed the cache, so a later per-fault
+           walk reuses the batch's triangular solves);
+        3. denominators ``1 + wᵀy``, scales ``wᵀx₀ / (1 + wᵀy)`` and
+           the observed-node voltages are formed as vectorized numpy
+           expressions over the batch, with the same term order as the
+           scalar path so both produce the same floating-point values.
+
+        Only genuinely rank-≥2 deltas and updates failing the relative
+        conditioning test (:data:`DENOM_RTOL`) drop out of the batch,
+        through the same per-fault dense patched solve the scalar path
+        uses.  Deviations whose stamp equals the baseline return the
+        baseline voltage, mirroring :meth:`deviated_voltage`.
+        """
+        if node == GROUND:
+            return np.zeros(len(faults), dtype=complex)
+        try:
+            index = self.solver._node_index[node]
+        except KeyError:
+            raise AnalogError(f"no node named {node!r} in solution") from None
+        voltages = np.empty(len(faults), dtype=complex)
+        base_at_node = complex(self._base[index])
+
+        # --- classify faults, collecting distinct update directions ---
+        # Fixed (value-independent) directions are keyed by their
+        # ``_ys`` cache key so the batch both reuses and feeds the
+        # per-direction cache; value-dependent directions by content.
+        columns: list[tuple] = []  # sparse directions: (u_rows, u_vals)
+        column_ys: list[np.ndarray | None] = []
+        column_cache_keys: list[tuple | None] = []
+        column_of: dict[tuple, int] = {}
+        # Sherman–Morrison slots (parallel lists, one per batched fault)
+        # plus the flattened ragged wᵀ entries addressing them.
+        sm_fault: list[int] = []
+        sm_column: list[int] = []
+        sm_entries: list[dict] = []
+        w_slot: list[int] = []
+        w_col: list[int] = []
+        w_val: list[complex] = []
+        fallback: list[tuple[int, dict]] = []  # genuinely rank ≥ 2
+
+        for i, (element, deviation) in enumerate(faults):
+            delta = self._stamp_delta(element, deviation)
+            if delta is None:
+                voltages[i] = base_at_node
+                continue
+            entries, rhs_touched = delta
+            if rhs_touched:
+                raise AnalogError(
+                    f"component {element!r} stamps the right-hand side; "
+                    "cannot patch the factorized system"
+                )
+            factors = self._factor_delta(entries)
+            if factors is None:
+                factors = self._factor_delta_svd(entries)
+                if factors is None:
+                    fallback.append((i, entries))
+                    continue
+            u_key, u_rows, u_vals, w_cols, w_vals = factors
+            ident = (
+                u_key
+                if u_key is not None
+                else ("value", tuple(u_rows), tuple(u_vals))
+            )
+            position = column_of.get(ident)
+            if position is None:
+                position = len(columns)
+                column_of[ident] = position
+                columns.append((u_rows, u_vals))
+                column_cache_keys.append(u_key)
+                if u_key is not None:
+                    with self._ys_lock:
+                        column_ys.append(self._ys.get(u_key))
+                else:
+                    column_ys.append(None)
+            slot = len(sm_fault)
+            sm_fault.append(i)
+            sm_column.append(position)
+            sm_entries.append(entries)
+            for col, val in zip(w_cols, w_vals):
+                w_slot.append(slot)
+                w_col.append(col)
+                w_val.append(val)
+
+        # --- one multi-RHS solve covers every uncached direction ------
+        # The sparse directions are scattered straight into one RHS
+        # block, and the solve lands in a column-major matrix whose
+        # column views double as the cached per-direction ``y`` vectors
+        # — no per-column densify/copy/re-stack round trips.
+        missing = [j for j, y in enumerate(column_ys) if y is None]
+        solved = None
+        solved_is_canonical = False
+        if missing:
+            block = np.zeros((self._size, len(missing)), dtype=complex)
+            for k, j in enumerate(missing):
+                u_rows, u_vals = columns[j]
+                block[u_rows, k] = u_vals
+            solved = np.asfortranarray(self._factorization.solve_many(block))
+            solved_is_canonical = len(missing) == len(column_ys)
+            for k, j in enumerate(missing):
+                y = view = solved[:, k]
+                key = column_cache_keys[j]
+                if key is not None:
+                    with self._ys_lock:
+                        y = self._ys.setdefault(key, view)
+                if y is not view:
+                    # Another thread seeded this direction first; its
+                    # array is canonical, so the block no longer is.
+                    solved_is_canonical = False
+                column_ys[j] = y
+
+        # --- vectorized Sherman–Morrison over the whole batch ---------
+        if sm_fault:
+            if solved_is_canonical:
+                ys = solved  # every direction is a fresh solve column
+            else:
+                ys = np.empty(
+                    (self._size, len(column_ys)), dtype=complex, order="F"
+                )
+                for j, y in enumerate(column_ys):
+                    ys[:, j] = y
+            fault_of_slot = np.asarray(sm_fault, dtype=np.intp)
+            column_of_slot = np.asarray(sm_column, dtype=np.intp)
+            slots = np.asarray(w_slot, dtype=np.intp)
+            cols = np.asarray(w_col, dtype=np.intp)
+            vals = np.asarray(w_val, dtype=complex)
+            # np.add.at accumulates in entry order — the same term
+            # order as the scalar path's sum(), so the results agree
+            # bit for bit, not merely to rounding.
+            terms_y = vals * ys[cols, column_of_slot[slots]]
+            terms_x = vals * self._base[cols]
+            w_dot_y = np.zeros(len(sm_fault), dtype=complex)
+            w_dot_x = np.zeros(len(sm_fault), dtype=complex)
+            np.add.at(w_dot_y, slots, terms_y)
+            np.add.at(w_dot_x, slots, terms_x)
+            denominator = 1.0 + w_dot_y
+            ill = np.abs(denominator) < self.DENOM_RTOL * np.maximum(
+                1.0, np.abs(w_dot_y)
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scale = w_dot_x / denominator
+            voltages[fault_of_slot] = (
+                base_at_node - ys[index, column_of_slot] * scale
+            )
+            for slot in np.nonzero(ill)[0]:
+                voltages[sm_fault[slot]] = complex(
+                    self._patched_solve(sm_entries[slot])[index]
+                )
+
+        # --- rank-≥2 leftovers: the same dense fallback, per fault ----
+        for i, entries in fallback:
+            voltages[i] = complex(self._patched_solve(entries)[index])
+        return voltages

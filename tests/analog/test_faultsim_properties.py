@@ -179,3 +179,81 @@ class TestDeviationScopeRestoration:
                 assert (source.ac, source.dc) == (1.0, 1.0)
                 raise AnalogError("solver failed")
         assert (source.ac, source.dc) == (0.7, 2.5)
+
+
+class TestDrawFaultsClampedSeverity:
+    """A clamped fault's severity reflects the deviation actually injected."""
+
+    class _Testable:
+        def __init__(self, element, ed_percent):
+            self.element = element
+            self.ed_percent = ed_percent
+
+    def test_clamped_fault_recomputes_severity(self):
+        from repro.analog.faultsim import draw_faults
+
+        # ed = 80 %: a negative draw at severity ≥ 1.1875 crosses the
+        # −0.95 clamp, so with the (2.0, 3.0) range every negative draw
+        # is clamped and must report severity 0.95 / 0.80 exactly.
+        testable = [self._Testable("R1", 80.0)]
+        faults = draw_faults(testable, 64, (2.0, 3.0), random.Random(99))
+        clamped = [f for f in faults if f.deviation == -0.95]
+        assert clamped, "seed produced no negative draws?"
+        for fault in clamped:
+            assert fault.severity == abs(fault.deviation) / 0.80
+        # Unclamped (positive) draws keep their drawn severity range.
+        for fault in faults:
+            if fault.deviation > 0:
+                assert 2.0 <= fault.severity <= 3.0
+
+    def test_rng_stream_unchanged_by_clamp(self):
+        from repro.analog.faultsim import draw_faults
+
+        # The clamp consumes no RNG draws: element/deviation streams
+        # for a clamp-free population are identical to the historical
+        # contract whatever the severity bookkeeping does.
+        testable = [self._Testable("R1", 1.0), self._Testable("C2", 2.0)]
+        first = draw_faults(testable, 5, (0.5, 3.0), random.Random(11))
+        second = draw_faults(testable, 5, (0.5, 3.0), random.Random(11))
+        assert [(f.element, f.deviation, f.severity) for f in first] == [
+            (f.element, f.deviation, f.severity) for f in second
+        ]
+        assert all(f.deviation > -0.95 for f in first)  # no clamps here
+
+
+class TestEmptyPopulationDiagnostics:
+    def test_factorized_engine_emits_full_shape(self):
+        from repro.analog.faultsim import FactorizedEngine
+
+        engine = FactorizedEngine()
+        outcomes = engine.run(object(), [], [], digital_engine="reference")
+        assert outcomes == []
+        diagnostics = engine.last_diagnostics
+        # The exact key set every non-empty run carries: artifact and
+        # service consumers key into these without guards.
+        assert set(diagnostics) == {
+            "engine",
+            "digital_engine",
+            "batch",
+            "batched_gains",
+            "backend",
+            "hits",
+            "misses",
+            "size",
+            "max_size",
+            "solve_calls",
+            "multi_rhs_solves",
+            "multi_rhs_columns",
+        }
+        assert diagnostics["engine"] == "factorized"
+        assert diagnostics["digital_engine"] == "reference"
+        assert diagnostics["backend"] is None
+        assert diagnostics["batch"] is True
+
+    def test_empty_population_respects_cache_size_override(self):
+        from repro.analog.faultsim import FactorizedEngine
+
+        engine = FactorizedEngine()
+        engine.run(object(), [], [], factor_cache_size=7, batch=False)
+        assert engine.last_diagnostics["max_size"] == 7
+        assert engine.last_diagnostics["batch"] is False

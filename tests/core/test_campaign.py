@@ -51,3 +51,55 @@ class TestCampaign:
 
     def test_empty_severity_band(self, campaign):
         assert campaign.detection_rate(min_severity=100.0) == 1.0
+
+
+class TestBatchedExecution:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        mixed = fig4_mixed_circuit()
+        report = MixedSignalTestGenerator(mixed).run(include_digital=False)
+        return mixed, report
+
+    def test_batched_outcomes_identical_to_looped(self, prepared):
+        from repro.api.config import CampaignConfig
+
+        mixed, report = prepared
+        config = CampaignConfig(faults_per_element=4, seed=7)
+        batched = run_campaign(mixed, report, config=config)
+        looped = run_campaign(
+            mixed, report, config=config.replace(batch=False)
+        )
+        assert batched.outcomes == looped.outcomes
+
+    def test_diagnostics_report_batch_traffic(self, prepared):
+        from repro.api.config import CampaignConfig
+
+        mixed, report = prepared
+        config = CampaignConfig(faults_per_element=4, seed=7)
+        batched = run_campaign(mixed, report, config=config)
+        looped = run_campaign(
+            mixed, report, config=config.replace(batch=False)
+        )
+        assert batched.diagnostics["batch"] is True
+        assert batched.diagnostics["batched_gains"] == batched.n_injected
+        assert batched.diagnostics["multi_rhs_solves"] >= 1
+        assert looped.diagnostics["batch"] is False
+        assert looped.diagnostics["batched_gains"] == 0
+        assert looped.diagnostics["multi_rhs_solves"] == 0
+        # The batch precompute replaces per-direction single solves.
+        assert (
+            batched.diagnostics["solve_calls"]
+            < looped.diagnostics["solve_calls"]
+        )
+
+    def test_sharded_batched_matches_unsharded(self, prepared):
+        from repro.api.config import CampaignConfig
+
+        mixed, report = prepared
+        config = CampaignConfig(faults_per_element=3, seed=9)
+        unsharded = run_campaign(mixed, report, config=config)
+        sharded = run_campaign(
+            mixed, report, config=config.replace(shards=3, shard_workers=1)
+        )
+        assert sharded.outcomes == unsharded.outcomes
+        assert sharded.diagnostics["batch"] is True

@@ -146,6 +146,59 @@ class TestBackendEquivalence:
         ) < 1e-9
 
 
+class TestSolveMany:
+    def _factorization(self, backend):
+        circuit = rc_ladder(12)
+        solver = MnaSolver(circuit, backend=backend)
+        system, _, _ = solver._assemble(1.0e3)
+        return resolve_backend(backend).factorize(system), system
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_matches_column_at_a_time(self, backend):
+        factorization, system = self._factorization(backend)
+        rng = np.random.default_rng(42)
+        block = rng.standard_normal(
+            (system.size, 5)
+        ) + 1j * rng.standard_normal((system.size, 5))
+        stacked = factorization.solve_many(block)
+        assert stacked.shape == block.shape
+        for k in range(block.shape[1]):
+            single = factorization.solve(block[:, k].copy())
+            assert np.allclose(stacked[:, k], single, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_counters(self, backend):
+        factorization, system = self._factorization(backend)
+        assert factorization.stats() == {
+            "solve_calls": 0,
+            "multi_rhs_solves": 0,
+            "multi_rhs_columns": 0,
+        }
+        factorization.solve(system.rhs)
+        factorization.solve_many(np.zeros((system.size, 3), dtype=complex))
+        factorization.solve_many(np.zeros((system.size, 2), dtype=complex))
+        assert factorization.stats() == {
+            "solve_calls": 1,
+            "multi_rhs_solves": 2,
+            "multi_rhs_columns": 5,
+        }
+
+    def test_base_class_default_falls_back_to_single_solves(self):
+        from repro.spice.backends import LinearFactorization
+
+        class Doubling(LinearFactorization):
+            def _solve(self, rhs):
+                return 2.0 * rhs
+
+        factorization = Doubling()
+        block = np.arange(8, dtype=complex).reshape(4, 2)
+        assert np.array_equal(factorization.solve_many(block), 2.0 * block)
+        empty = np.zeros((4, 0), dtype=complex)
+        assert factorization.solve_many(empty).shape == (4, 0)
+        assert factorization.stats()["multi_rhs_solves"] == 2
+        assert factorization.stats()["multi_rhs_columns"] == 2
+
+
 class TestFactorizationCache:
     def test_hit_miss_counters(self):
         circuit = bandpass_filter()

@@ -1,0 +1,266 @@
+"""Differential suite: ``deviation_batch`` against the per-fault path.
+
+:meth:`repro.spice.FactorizedMna.deviation_batch` executes the campaign's
+Sherman–Morrison updates as one multi-RHS solve plus vectorized numpy
+expressions; :meth:`~repro.spice.FactorizedMna.deviated_voltage` is the
+scalar per-fault path it replaces.  Both must agree to 1e-12 on every
+circuit — with rank-≥2/dense-fallback faults deliberately mixed into the
+batch — because the campaign engine's byte-identical-outcomes guarantee
+rests on this equivalence.
+
+The fast tests cover the small named filters plus a hypothesis sweep of
+random ladders; the full registry grid (512-section ladders, dense *and*
+sparse backends) is marked ``slow`` and runs next to the backend
+differential suite.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import default_registry
+from repro.circuits import bandpass_filter, chebyshev_filter, rc_ladder
+from repro.spice import AnalogCircuit, AnalogError, MnaSolver, VoltageSource
+
+#: |batch − per-fault| bound; the vectorized path mirrors the scalar
+#: path's term order, so in practice the two agree bit for bit.
+TOLERANCE = 1e-12
+
+
+def _drive(circuit) -> None:
+    for component in circuit.components:
+        if isinstance(component, VoltageSource):
+            component.ac, component.dc = 1.0, 1.0
+            return
+    raise AssertionError(f"no source in {circuit.name}")
+
+
+def _observed_node(circuit) -> str:
+    return sorted(node for node in circuit.nodes() if node != "0")[-1]
+
+
+def _population(circuit, deviations=(-0.5, -0.05, 0.25, 2.0)):
+    return [
+        (element, deviation)
+        for element in circuit.element_names()
+        for deviation in deviations
+    ]
+
+
+def _assert_batch_matches_scalar(circuit, frequency, backend="dense"):
+    _drive(circuit)
+    node = _observed_node(circuit)
+    faults = _population(circuit)
+    batch = MnaSolver(circuit, backend=backend).factorized(frequency)
+    scalar = MnaSolver(circuit, backend=backend).factorized(frequency)
+    voltages = batch.deviation_batch(faults, node)
+    assert voltages.shape == (len(faults),)
+    for (element, deviation), voltage in zip(faults, voltages):
+        expected = scalar.deviated_voltage(element, deviation, node)
+        assert voltage == pytest.approx(expected, rel=TOLERANCE, abs=TOLERANCE)
+
+
+class TestSmallCircuits:
+    CIRCUITS = {
+        "bandpass": bandpass_filter,
+        "chebyshev": chebyshev_filter,
+        "rc-ladder-16": lambda: rc_ladder(16),
+    }
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("name", sorted(CIRCUITS))
+    @pytest.mark.parametrize("frequency", [0.0, 2.5e3])
+    def test_batch_matches_per_fault(self, name, frequency, backend):
+        _assert_batch_matches_scalar(
+            self.CIRCUITS[name](), frequency, backend
+        )
+
+    def test_batch_result_is_bit_identical_on_shared_instance(self):
+        # On one factorization the batch seeds the per-direction y
+        # cache, so the subsequent scalar walk replays the exact same
+        # floating-point operations: equality, not approximation.
+        circuit = bandpass_filter()
+        _drive(circuit)
+        node = _observed_node(circuit)
+        faults = _population(circuit)
+        factorized = MnaSolver(circuit).factorized(2.5e3)
+        voltages = factorized.deviation_batch(faults, node)
+        for (element, deviation), voltage in zip(faults, voltages):
+            assert voltage == factorized.deviated_voltage(
+                element, deviation, node
+            )
+
+
+class TestBatchSemantics:
+    def _factorized(self, frequency=1.0e3):
+        circuit = bandpass_filter()
+        _drive(circuit)
+        return circuit, MnaSolver(circuit).factorized(frequency)
+
+    def test_empty_batch(self):
+        circuit, factorized = self._factorized()
+        voltages = factorized.deviation_batch([], _observed_node(circuit))
+        assert voltages.shape == (0,) and voltages.dtype == complex
+
+    def test_ground_node_is_zero(self):
+        circuit, factorized = self._factorized()
+        element = circuit.element_names()[0]
+        voltages = factorized.deviation_batch([(element, 0.5)], "0")
+        assert voltages[0] == 0.0 + 0.0j
+
+    def test_unknown_node_rejected(self):
+        circuit, factorized = self._factorized()
+        element = circuit.element_names()[0]
+        with pytest.raises(AnalogError, match="no node named"):
+            factorized.deviation_batch([(element, 0.5)], "nope")
+
+    def test_baseline_equal_stamp_returns_base_voltage(self):
+        # A capacitor at DC stamps nothing: the batch must return the
+        # baseline voltage exactly, mirroring deviated_voltage.
+        circuit = AnalogCircuit("rc")
+        circuit.vsource("Vin", "in", "0", dc=1.0, ac=1.0)
+        circuit.resistor("R1", "in", "out", 1000.0)
+        circuit.capacitor("C1", "out", "0", 1e-9)
+        factorized = MnaSolver(circuit).factorized(0.0)
+        voltages = factorized.deviation_batch([("C1", 0.5), ("R1", 0.5)], "out")
+        assert voltages[0] == factorized.solution().voltage("out")
+        assert voltages[1] != voltages[0]
+
+    def test_one_multi_rhs_solve_and_cache_seeding(self):
+        circuit, factorized = self._factorized()
+        node = _observed_node(circuit)
+        faults = _population(circuit)
+        factorized.deviation_batch(faults, node)
+        stats = factorized.solve_stats()
+        assert stats["multi_rhs_solves"] == 1
+        assert stats["multi_rhs_columns"] >= 1
+        single_before = stats["solve_calls"]
+        # The batch seeded the per-direction cache: a scalar walk over
+        # the same population triggers no further triangular solves for
+        # fixed (value-independent) update directions.
+        for element, deviation in faults:
+            factorized.deviated_voltage(element, deviation, node)
+        after = factorized.solve_stats()
+        assert after["multi_rhs_solves"] == 1
+        assert after["solve_calls"] <= single_before + sum(
+            1 for _ in circuit.element_names()
+        )
+
+    def test_dense_fallback_faults_mixed_into_batch(self, monkeypatch):
+        # Defeat rank-one factoring for every other classified fault:
+        # those must route through the per-fault dense patched solve
+        # *inside* the batch and still agree with the scalar path.
+        circuit, factorized = self._factorized(2.5e3)
+        node = _observed_node(circuit)
+        faults = _population(circuit)
+        reference = MnaSolver(circuit).factorized(2.5e3)
+
+        calls = {"n": 0}
+        original_factor = type(factorized)._factor_delta
+
+        def flaky_factor(self, entries):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                return None
+            return original_factor(self, entries)
+
+        monkeypatch.setattr(factorized, "_factor_delta", flaky_factor.__get__(factorized))
+        monkeypatch.setattr(
+            factorized, "_factor_delta_svd", lambda entries: None
+        )
+        voltages = factorized.deviation_batch(faults, node)
+        assert calls["n"] >= 2  # the patch actually mixed routes
+        for (element, deviation), voltage in zip(faults, voltages):
+            expected = reference.deviated_voltage(element, deviation, node)
+            assert voltage == pytest.approx(
+                expected, rel=TOLERANCE, abs=TOLERANCE
+            )
+
+    def test_rhs_stamping_component_rejected(self):
+        circuit, factorized = self._factorized()
+        element = circuit.element_names()[0]
+
+        def fake_stamp(el, deviation):
+            return {}, True  # pretend the component re-stamped the RHS
+
+        factorized._stamp_delta = fake_stamp
+        with pytest.raises(AnalogError, match="right-hand side"):
+            factorized.deviation_batch([(element, 0.5)], _observed_node(circuit))
+
+
+def _random_ladder(rng: random.Random, stages: int) -> AnalogCircuit:
+    circuit = AnalogCircuit(f"hyp-ladder-{stages}")
+    circuit.vsource("Vin", "n0", "0", dc=1.0, ac=1.0)
+    previous = "n0"
+    for index in range(stages):
+        node = f"n{index + 1}"
+        circuit.resistor(
+            f"Rs{index}", previous, node, 10.0 ** rng.uniform(2.0, 5.0)
+        )
+        if rng.random() < 0.8:
+            circuit.capacitor(
+                f"C{index}", node, "0", 10.0 ** rng.uniform(-9.0, -7.0)
+            )
+        if rng.random() < 0.5:
+            circuit.resistor(
+                f"Rp{index}", node, "0", 10.0 ** rng.uniform(3.0, 6.0)
+            )
+        previous = node
+    return circuit
+
+
+class TestRandomLadderProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        stages=st.integers(min_value=1, max_value=12),
+        frequency=st.sampled_from([0.0, 1.0e3, 5.0e4]),
+    )
+    def test_batch_matches_per_fault(self, seed, stages, frequency):
+        rng = random.Random(seed)
+        circuit = _random_ladder(rng, stages)
+        node = f"n{stages}"
+        faults = _population(circuit, deviations=(-0.6, 0.3))
+        batch = MnaSolver(circuit).factorized(frequency)
+        scalar = MnaSolver(circuit).factorized(frequency)
+        voltages = batch.deviation_batch(faults, node)
+        for (element, deviation), voltage in zip(faults, voltages):
+            expected = scalar.deviated_voltage(element, deviation, node)
+            assert voltage == pytest.approx(
+                expected, rel=TOLERANCE, abs=TOLERANCE
+            )
+
+
+@pytest.mark.slow
+class TestRegistryGrid:
+    """Every registry analog circuit, dense and sparse, batch == scalar."""
+
+    NAMES = [spec.name for spec in default_registry().specs("analog")]
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("name", NAMES)
+    def test_batch_matches_per_fault(self, name, backend):
+        registry = default_registry()
+        circuit = registry.build(name)
+        _drive(circuit)
+        node = _observed_node(circuit)
+        elements = circuit.element_names()
+        if len(elements) > 96:
+            # Deterministic subsample keeps the 512-section ladders
+            # tractable while still batching ~200 distinct directions.
+            elements = elements[:: max(1, len(elements) // 96)]
+        faults = [
+            (element, deviation)
+            for element in elements
+            for deviation in (-0.5, 0.25)
+        ]
+        batch = MnaSolver(circuit, backend=backend).factorized(1.0e3)
+        scalar = MnaSolver(circuit, backend=backend).factorized(1.0e3)
+        voltages = batch.deviation_batch(faults, node)
+        for (element, deviation), voltage in zip(faults, voltages):
+            expected = scalar.deviated_voltage(element, deviation, node)
+            assert voltage == pytest.approx(
+                expected, rel=TOLERANCE, abs=TOLERANCE
+            )

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.spice import AnalogCircuit, AnalogError, MnaSolver
@@ -161,3 +162,84 @@ class TestDeviations:
         c.vsource("V1", "a", "0", dc=1.0)
         with pytest.raises(AnalogError):
             c.nominal_value("V1")
+
+
+class TestRelativeConditioning:
+    """The ill-conditioning test on ``1 + wᵀy`` is relative, not absolute.
+
+    For a resistor the Sherman–Morrison denominator is an exactly linear
+    function of the conductance delta, ``denominator(Δg) = 1 + Δg·D``
+    with ``D = wᵀy / Δg`` fixed by the circuit, so a deviation can be
+    constructed that lands the denominator on any target — here
+    ``t = 1e-13``, *above* the historical absolute ``1e-14`` cutoff but
+    below the relative ``DENOM_RTOL`` one.  The old test silently took
+    the catastrophically cancelling fast branch for such updates; the
+    fixed test must route them to the dense fallback.
+    """
+
+    T = 1e-13
+
+    @staticmethod
+    def _near_singular_deviation(circuit, element, factorized, t):
+        """A deviation placing ``|1 + wᵀy|`` at ``t`` analytically."""
+        nominal = circuit.nominal_value(element)
+        probe = 0.5
+        entries, _ = factorized._stamp_delta(element, probe)
+        _, u_rows, u_vals, w_cols, w_vals = factorized._factor_delta(entries)
+        u = np.zeros(factorized._size, dtype=complex)
+        u[u_rows] = u_vals
+        y = factorized._factorization.solve(u)
+        w_dot_y = sum(w * y[c] for c, w in zip(w_cols, w_vals))
+        dg_probe = 1.0 / (nominal * (1.0 + probe)) - 1.0 / nominal
+        slope = (w_dot_y / dg_probe).real  # wᵀy is linear in Δg
+        dg_target = (t - 1.0) / slope
+        return 1.0 / (1.0 + nominal * dg_target) - 1.0
+
+    def _assert_falls_back(self, circuit, element):
+        factorized = MnaSolver(circuit).factorized(0.0)
+        deviation = self._near_singular_deviation(
+            circuit, element, factorized, self.T
+        )
+        # Verify the construction: the denominator really sits between
+        # the old absolute cutoff and the new relative one.
+        entries, _ = factorized._stamp_delta(element, deviation)
+        _, u_rows, u_vals, w_cols, w_vals = factorized._factor_delta(entries)
+        u = np.zeros(factorized._size, dtype=complex)
+        u[u_rows] = u_vals
+        y = factorized._factorization.solve(u)
+        w_dot_y = sum(w * y[c] for c, w in zip(w_cols, w_vals))
+        denominator = 1.0 + w_dot_y
+        assert 1e-14 < abs(denominator) < factorized.DENOM_RTOL * max(
+            1.0, abs(w_dot_y)
+        )
+        update = factorized._deviation_update(element, deviation)
+        assert isinstance(update, dict)  # dense fallback, not (y, scale)
+
+    def test_near_singular_update_takes_dense_fallback(self):
+        from repro.circuits import rc_ladder
+
+        self._assert_falls_back(rc_ladder(8), "R4")
+
+    def test_scaled_registry_circuit_takes_same_branch(self):
+        # A copy of the registry ladder with impedances scaled by 1e7:
+        # the branch decision must survive bad system scaling.
+        from repro.circuits import rc_ladder
+
+        self._assert_falls_back(
+            rc_ladder(8, r_ohms=1.0e10, c_farads=1.0e-16), "R4"
+        )
+
+    def test_batch_and_scalar_agree_on_fallback_faults(self):
+        from repro.circuits import rc_ladder
+
+        circuit = rc_ladder(8)
+        factorized = MnaSolver(circuit).factorized(0.0)
+        deviation = self._near_singular_deviation(
+            circuit, "R4", factorized, self.T
+        )
+        faults = [("R4", deviation), ("R2", 0.5)]
+        batch = factorized.deviation_batch(faults, "out")
+        scalar = MnaSolver(circuit).factorized(0.0)
+        for (element, dev), voltage in zip(faults, batch):
+            expected = scalar.deviated_voltage(element, dev, "out")
+            assert voltage == pytest.approx(expected, rel=1e-9, abs=1e-9)
