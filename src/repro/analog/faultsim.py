@@ -476,6 +476,10 @@ class FactorizedEngine(CampaignEngine):
                         pairs, output
                     )
                     for (element, deviation), value in zip(pairs, values):
+                        # Lock-free by construction: this precompute
+                        # runs before the executor below exists, so no
+                        # other thread can touch the memo yet.
+                        # repro-lint: disable=LCK003
                         gain_memo[(element, deviation, frequency)] = abs(
                             complex(value)
                         )

@@ -7,6 +7,7 @@ Subcommands::
     campaign     full flow incl. fault-injection scoring
     experiment   regenerate one of the paper's tables/figures
     bench-smoke  fast end-to-end self-check (CI gate)
+    lint         static analysis: codebase rules / netlist semantics
     serve        run the campaign service (HTTP/JSON job API)
     submit       submit a campaign job to a running service
     status       show a job (or all jobs) on a running service
@@ -135,6 +136,45 @@ def build_parser() -> argparse.ArgumentParser:
         "bench-smoke", help="fast end-to-end self-check (fig4 pipeline)"
     )
     p_smoke.add_argument("--json", metavar="PATH", default=None)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis: codebase invariants and netlist semantics",
+        description="Run the repro.devtools.lint rules.  With no "
+        "arguments, lints the source tree AND every registry circuit. "
+        "Exit codes: 0 clean, 1 unsuppressed findings, 2 usage error.",
+    )
+    p_lint.add_argument(
+        "names", nargs="*", metavar="CIRCUIT",
+        help="registry circuits to check semantically (netlist rules)",
+    )
+    p_lint.add_argument(
+        "--src", action="store_true",
+        help="run the codebase rules (DET/FPR/LCK/ENG/ART/CFG) over "
+        "the repro source tree",
+    )
+    p_lint.add_argument(
+        "--circuits", dest="sweep", action="store_true",
+        help="run the netlist rules (NET1xx) over every registry circuit",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the CI gate's input)",
+    )
+    p_lint.add_argument(
+        "--rules", action="store_true",
+        help="list every rule (id, title, rationale) and exit",
+    )
+    p_lint.add_argument(
+        "--src-root", metavar="DIR", default=None,
+        help="source root containing the repro package (default: the "
+        "directory this installation imports repro from)",
+    )
+    p_lint.add_argument(
+        "--tests-root", metavar="DIR", default=None,
+        help="tests root for coverage-style rules (default: ./tests "
+        "when present)",
+    )
 
     # -- service verbs --------------------------------------------------
     p_serve = sub.add_parser(
@@ -409,6 +449,57 @@ def _artifact_round_trips(result) -> bool:
 
 
 # ----------------------------------------------------------------------
+def _cmd_lint(wb: Workbench, args: argparse.Namespace) -> int:
+    from ..devtools.lint import (
+        LintError,
+        LintReport,
+        lint_registry,
+        lint_source_tree,
+        netlist_rules,
+        source_rules,
+    )
+
+    if args.rules:
+        for rule in [*source_rules(), *netlist_rules()]:
+            print(f"{rule.id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    # No selector at all means "lint everything".
+    lint_src = args.src or not (args.sweep or args.names)
+    lint_all_circuits = args.sweep or not (args.src or args.names)
+
+    report = LintReport()
+    try:
+        if lint_src:
+            src_root = args.src_root
+            if src_root is None:
+                from pathlib import Path
+
+                # The directory `import repro` resolves from: works for
+                # a checkout (src/) and an installed package alike.
+                src_root = Path(__file__).resolve().parents[2]
+            tests_root = args.tests_root
+            if tests_root is None:
+                from pathlib import Path
+
+                tests_root = "tests" if Path("tests").is_dir() else None
+            report.extend(lint_source_tree(src_root, tests_root=tests_root))
+        if args.names:
+            report.extend(lint_registry(names=args.names))
+        elif lint_all_circuits:
+            report.extend(lint_registry())
+    except LintError as error:
+        raise ConfigError(str(error)) from None
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+# ----------------------------------------------------------------------
 # service verbs
 # ----------------------------------------------------------------------
 def _cmd_serve(wb: Workbench, args: argparse.Namespace) -> int:
@@ -556,6 +647,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "experiment": _cmd_experiment,
     "bench-smoke": _cmd_bench_smoke,
+    "lint": _cmd_lint,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,

@@ -196,6 +196,9 @@ class PipelineOutcome:
     campaign: CampaignResult | None = None
     deviations: DeviationMatrix | None = None
     timings: list[StageTiming] = field(default_factory=list)
+    #: netlist pre-flight summary (``run(..., preflight=True)`` only),
+    #: in the AnalysisDiagnostics style: a flat JSON-encodable dict.
+    lint_diagnostics: dict | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -251,8 +254,17 @@ class Pipeline:
         generator: GeneratorConfig | None = None,
         campaign: CampaignConfig | None = None,
         atpg: AtpgConfig | None = None,
+        preflight: bool = False,
     ) -> PipelineOutcome:
-        """Execute the stages against one mixed circuit."""
+        """Execute the stages against one mixed circuit.
+
+        With ``preflight=True``, the netlist semantic rules
+        (:mod:`repro.devtools.lint`) run over the circuit first; their
+        findings land in :attr:`PipelineOutcome.lint_diagnostics` and a
+        ``preflight`` timing row.  Findings never abort the run — a
+        semantically odd netlist still deserves its report, but the
+        oddity rides along with the result.
+        """
         generator = generator or GeneratorConfig()
         engine = MixedSignalTestGenerator(mixed, config=generator)
         ctx = PipelineContext(
@@ -264,6 +276,20 @@ class Pipeline:
         )
         timings: list[StageTiming] = []
         executed: list[str] = []
+        lint_diagnostics = None
+        if preflight:
+            from ..devtools.lint import lint_circuit
+
+            start = time.perf_counter()
+            lint_report = lint_circuit(mixed, name=mixed.name)
+            timings.append(
+                StageTiming("preflight", time.perf_counter() - start)
+            )
+            lint_diagnostics = {
+                "findings": len(lint_report.findings),
+                "circuits_checked": lint_report.circuits_checked,
+                "details": [f.as_dict() for f in lint_report.findings],
+            }
         for name in self.stages:
             if name == "atpg" and not generator.include_digital:
                 continue  # the config vetoes the digital stage
@@ -303,4 +329,5 @@ class Pipeline:
             campaign=ctx.campaign,
             deviations=ctx.deviations,
             timings=timings,
+            lint_diagnostics=lint_diagnostics,
         )

@@ -62,12 +62,33 @@ from ..analog.faultsim import (
 from ..api.config import CampaignConfig, ConfigError
 
 __all__ = [
+    "FINGERPRINT_EXCLUDED_FIELDS",
     "ShardRun",
     "shard_bounds",
     "campaign_fingerprint",
     "checkpoint_path",
     "run_sharded_campaign",
 ]
+
+#: :class:`~repro.api.config.CampaignConfig` fields deliberately OUTSIDE
+#: campaign fingerprints (and the service layer's dedup key, which
+#: mirrors this contract): each changes how the work is split, cached or
+#: persisted — never which outcomes it produces — so respecting them in
+#: the key would invalidate checkpoints and defeat dedup on re-runs that
+#: only retune the fan-out.  Every other field MUST be read by
+#: :func:`campaign_fingerprint`; the FPR002 lint rule
+#: (:mod:`repro.devtools.lint`) enforces both directions, so a new
+#: config knob cannot silently leak into or out of dedup identity.
+FINGERPRINT_EXCLUDED_FIELDS = frozenset(
+    {
+        "max_workers",      # thread fan-out inside an engine
+        "shards",           # process partitioning of the population
+        "shard_workers",    # process fan-out over shards
+        "checkpoint_dir",   # where results persist, not what they are
+        "factor_cache_size",  # LRU bound on retained LUs (pure perf)
+        "batch",            # multi-RHS solve strategy, bit-identical
+    }
+)
 
 
 def shard_bounds(n_faults: int, shards: int) -> list[tuple[int, int]]:

@@ -1,0 +1,49 @@
+"""``repro.devtools.lint`` — two-frontend static analysis.
+
+Frontend 1 (codebase rules) parses ``src/`` with :mod:`ast` and checks
+the repository's reproducibility invariants: seeded RNG everywhere,
+fingerprint completeness, lock-guarded shared memos, registered
+engine/backend names, registered artifact kinds, and no truthiness
+tests on config fields whose type admits ``0``/``False``.
+
+Frontend 2 (netlist rules) checks every :class:`repro.api.CircuitRegistry`
+entry semantically: floating analog nodes, structurally singular MNA
+stamps (no DC path to ground), dangling digital fan-ins, dead gates and
+unused inputs.
+
+Both run behind ``python -m repro lint`` and share one finding model,
+suppression syntax (``# repro-lint: disable=RULE``) and exit-code
+contract (0 clean, 1 findings, 2 usage errors).
+"""
+
+from .engine import (
+    Finding,
+    LintError,
+    LintReport,
+    Project,
+    Rule,
+    SourceModule,
+)
+from .netlist_rules import lint_circuit, lint_registry, netlist_rules
+from .source_rules import (
+    FingerprintContract,
+    lint_source_text,
+    lint_source_tree,
+    source_rules,
+)
+
+__all__ = [
+    "Finding",
+    "FingerprintContract",
+    "LintError",
+    "LintReport",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "lint_circuit",
+    "lint_registry",
+    "lint_source_text",
+    "lint_source_tree",
+    "netlist_rules",
+    "source_rules",
+]

@@ -1,0 +1,353 @@
+"""The rule-engine core: findings, rules, suppressions, reporters.
+
+A :class:`Rule` contributes :class:`Finding` objects; the engine owns
+everything rule-independent — parsing source modules, mapping
+``# repro-lint: disable=RULE`` comments onto findings, aggregating a
+:class:`LintReport` and rendering it as text or JSON with the CLI's
+stable exit-code contract (0 clean, 1 unsuppressed findings, 2 usage
+errors).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "suppressions_of",
+]
+
+#: suppression comment: ``# repro-lint: disable=DET001,LCK003`` (or
+#: ``disable=all``); an optional justification may follow after `` — ``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+|all)"
+)
+
+
+class LintError(Exception):
+    """A lint invocation itself is malformed (unknown rule, bad path)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is a source file path for codebase rules or a circuit name
+    for netlist rules; ``line`` is 1-based (0 when the finding has no
+    line, e.g. a netlist finding).
+    """
+
+    rule: str
+    message: str
+    path: str
+    line: int = 0
+    severity: str = "error"
+    suppressed: bool = False
+
+    @property
+    def location(self) -> str:
+        """``path:line`` (or just ``path`` for line-less findings)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-encodable form (the ``--format json`` row)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+
+
+class Rule:
+    """Base class: one named, documented invariant.
+
+    Subclasses set the class attributes and implement one of the
+    ``check_*`` hooks (the engine calls whichever frontend they belong
+    to).  ``rationale`` feeds ``docs/lint-rules.md`` and the ``--rules``
+    listing, not the finding messages.
+    """
+
+    id: str = ""
+    title: str = ""
+    severity: str = "error"
+    rationale: str = ""
+
+    def finding(self, message: str, path: str, line: int = 0) -> Finding:
+        """A finding attributed to this rule."""
+        return Finding(
+            rule=self.id,
+            message=message,
+            path=path,
+            line=line,
+            severity=self.severity,
+        )
+
+    # -- frontend hooks (override the relevant one) --------------------
+    def check_module(
+        self, module: "SourceModule", project: "Project"
+    ) -> Iterable[Finding]:
+        """Per-file codebase check."""
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        """Whole-tree codebase check (cross-file invariants)."""
+        return ()
+
+
+def suppressions_of(text: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed there.
+
+    A ``# repro-lint: disable=...`` comment suppresses matching findings
+    on its own line; a comment that stands alone on its line also
+    covers the next line (so a suppression can sit above long
+    statements).  ``disable=all`` suppresses every rule.
+    """
+    suppressed: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        line = token.start[0]
+        suppressed.setdefault(line, set()).update(rules)
+        # A stand-alone comment line covers the following line too.
+        prefix = text.splitlines()[line - 1][: token.start[1]]
+        if not prefix.strip():
+            suppressed.setdefault(line + 1, set()).update(rules)
+    return suppressed
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file: text, AST and suppression map."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceModule":
+        """Parse ``text``; syntax errors surface as :class:`LintError`."""
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            raise LintError(f"{path}: cannot parse: {error}") from None
+        return cls(path, text, tree, suppressions_of(text))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment disables this finding's rule here."""
+        rules = self.suppressions.get(finding.line, ())
+        return finding.rule in rules or "all" in rules
+
+
+class Project:
+    """The source tree a lint run sees.
+
+    Wraps either a real directory (``src`` root containing the
+    ``repro`` package, with an optional ``tests`` root for coverage
+    checks) or an in-memory ``{relative_path: text}`` mapping — the
+    test corpus lints synthetic mini-projects without touching disk.
+    """
+
+    def __init__(
+        self,
+        src_root: str | Path | None = None,
+        tests_root: str | Path | None = None,
+        files: Mapping[str, str] | None = None,
+    ) -> None:
+        if (src_root is None) == (files is None):
+            raise LintError("Project needs exactly one of src_root/files")
+        self._src_root = None if src_root is None else Path(src_root)
+        self._tests_root = None if tests_root is None else Path(tests_root)
+        self._files = None if files is None else dict(files)
+        self._modules: dict[str, SourceModule] = {}
+
+    # ------------------------------------------------------------------
+    def paths(self) -> list[str]:
+        """Lintable source paths, relative, sorted for stable output."""
+        if self._files is not None:
+            return sorted(p for p in self._files if p.endswith(".py"))
+        assert self._src_root is not None
+        return sorted(
+            str(p.relative_to(self._src_root))
+            for p in self._src_root.rglob("*.py")
+        )
+
+    def module(self, relpath: str) -> SourceModule | None:
+        """The parsed module at ``relpath``, or ``None`` if absent."""
+        if relpath in self._modules:
+            return self._modules[relpath]
+        if self._files is not None:
+            text = self._files.get(relpath)
+        else:
+            assert self._src_root is not None
+            candidate = self._src_root / relpath
+            text = candidate.read_text() if candidate.is_file() else None
+        if text is None:
+            return None
+        parsed = SourceModule.parse(relpath, text)
+        self._modules[relpath] = parsed
+        return parsed
+
+    def modules(self) -> Iterator[SourceModule]:
+        """Every lintable module, in path order."""
+        for relpath in self.paths():
+            module = self.module(relpath)
+            if module is not None:
+                yield module
+
+    def tests_texts(self) -> Iterator[tuple[str, str]]:
+        """(path, text) for every test file, for coverage-style rules."""
+        if self._files is not None:
+            for relpath, text in sorted(self._files.items()):
+                if relpath.startswith("tests"):
+                    yield relpath, text
+            return
+        if self._tests_root is None or not self._tests_root.is_dir():
+            return
+        for path in sorted(self._tests_root.rglob("*.py")):
+            yield str(path), path.read_text()
+
+    # -- registry extraction helpers -----------------------------------
+    def tuple_constant(self, relpath: str, name: str) -> tuple[str, ...]:
+        """A module-level tuple/set-of-strings constant, or ``()``."""
+        module = self.module(relpath)
+        if module is None:
+            return ()
+        return _string_collection(module.tree, name)
+
+
+def _string_collection(tree: ast.Module, name: str) -> tuple[str, ...]:
+    """The string elements of ``name = ("a", "b", ...)`` (tuple, list,
+    set or ``frozenset({...})`` literal) at module level."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if name not in targets:
+            continue
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("frozenset", "set", "tuple")
+            and value.args
+        ):
+            value = value.args[0]
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            return tuple(
+                element.value
+                for element in value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            )
+    return ()
+
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    circuits_checked: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        """Findings not disabled by an inline comment."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        """Findings an inline comment disabled."""
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 any unsuppressed finding (2 is the CLI's usage code)."""
+        return 1 if self.unsuppressed else 0
+
+    def extend(self, other: "LintReport") -> None:
+        """Fold another report into this one."""
+        self.findings.extend(other.findings)
+        self.files_checked += other.files_checked
+        self.circuits_checked += other.circuits_checked
+
+    def _sorted(self, findings: list[Finding]) -> list[Finding]:
+        return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+    def render_text(self) -> str:
+        """Human-readable report, one line per finding."""
+        lines = []
+        for finding in self._sorted(self.unsuppressed):
+            lines.append(
+                f"{finding.location}: {finding.severity}: "
+                f"[{finding.rule}] {finding.message}"
+            )
+        checked = []
+        if self.files_checked:
+            checked.append(f"{self.files_checked} file(s)")
+        if self.circuits_checked:
+            checked.append(f"{self.circuits_checked} circuit(s)")
+        summary = (
+            f"{len(self.unsuppressed)} finding(s), "
+            f"{len(self.suppressed)} suppressed; checked "
+            + (", ".join(checked) if checked else "nothing")
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        """Machine-readable report (the CI gate's format)."""
+        document: dict[str, object] = {
+            "findings": [f.as_dict() for f in self._sorted(self.findings)],
+            "summary": {
+                "unsuppressed": len(self.unsuppressed),
+                "suppressed": len(self.suppressed),
+                "files_checked": self.files_checked,
+                "circuits_checked": self.circuits_checked,
+                "exit_code": self.exit_code,
+            },
+        }
+        return json.dumps(document, indent=2, sort_keys=True)
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], module: SourceModule
+) -> list[Finding]:
+    """Mark findings disabled by the module's inline comments."""
+    marked = []
+    for finding in findings:
+        if module.is_suppressed(finding):
+            finding = Finding(
+                rule=finding.rule,
+                message=finding.message,
+                path=finding.path,
+                line=finding.line,
+                severity=finding.severity,
+                suppressed=True,
+            )
+        marked.append(finding)
+    return marked

@@ -1,0 +1,329 @@
+"""Frontend 2: semantic netlist rules over registry circuits.
+
+Where :mod:`repro.spice.netlist` and :mod:`repro.digital.netlist`
+validate *well-formedness* (names resolve, no cycles), these rules
+check *meaning*: an analog node every solver will see as a singular
+MNA row, a gate whose value can never reach an output, an input the
+logic never reads.  They run against every :class:`repro.api.
+CircuitRegistry` entry (``python -m repro lint --circuits``) and as the
+pipeline's optional pre-flight.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from .engine import Finding, LintReport, Rule
+
+__all__ = [
+    "NetlistRule",
+    "Net101FloatingNode",
+    "Net102NoDcPathToGround",
+    "Net103DanglingFanin",
+    "Net104DeadGate",
+    "Net105UnusedInput",
+    "netlist_rules",
+    "lint_circuit",
+    "lint_registry",
+]
+
+#: every terminal attribute an analog component can carry (mirrors
+#: :meth:`repro.spice.netlist.AnalogCircuit.nodes`).
+_TERMINALS = (
+    "n1", "n2", "plus", "minus", "in_plus", "in_minus", "out",
+    "out_plus", "out_minus", "ctrl_plus", "ctrl_minus",
+)
+
+_GROUND = "0"
+
+
+class NetlistRule(Rule):
+    """Base for circuit-semantic rules; ``check_circuit`` per substrate."""
+
+    def check_analog(self, circuit: Any, path: str) -> Iterable[Finding]:
+        """Findings over an :class:`repro.spice.AnalogCircuit`."""
+        return ()
+
+    def check_digital(self, circuit: Any, path: str) -> Iterable[Finding]:
+        """Findings over a :class:`repro.digital.netlist.Circuit`."""
+        return ()
+
+
+def _terminal_refs(circuit: Any) -> dict[str, list[str]]:
+    """Node -> component names referencing it (ground excluded)."""
+    refs: dict[str, list[str]] = {}
+    for component in circuit.components:
+        for attr in _TERMINALS:
+            node = getattr(component, attr, None)
+            if node is not None and node != _GROUND:
+                refs.setdefault(node, []).append(component.name)
+    return refs
+
+
+# ----------------------------------------------------------------------
+class Net101FloatingNode(NetlistRule):
+    """A node referenced by a single component terminal."""
+
+    id = "NET101"
+    title = "floating analog node"
+    rationale = (
+        "A node touched by exactly one component terminal has no "
+        "second path: no current can flow through it, so the element "
+        "is electrically dead — usually a typo'd node name splitting "
+        "one net in two.  The solver won't complain (the matrix may "
+        "still factor); the campaign will just quietly never detect "
+        "faults there."
+    )
+
+    def check_analog(self, circuit: Any, path: str) -> Iterable[Finding]:
+        for node, owners in sorted(_terminal_refs(circuit).items()):
+            if len(owners) == 1:
+                yield self.finding(
+                    f"node {node!r} is referenced only by component "
+                    f"{owners[0]!r} — a single-terminal net carries no "
+                    "current (typo'd node name?)",
+                    path,
+                )
+
+
+# ----------------------------------------------------------------------
+class Net102NoDcPathToGround(NetlistRule):
+    """A node with no DC-conducting path to ground."""
+
+    id = "NET102"
+    title = "structurally singular MNA stamp (no DC path to ground)"
+    rationale = (
+        "MNA needs every node's potential pinned relative to ground "
+        "through some DC-conducting path (R, L, a source branch, an "
+        "op-amp output).  A capacitor-only or current-source-only "
+        "island leaves a singular DC matrix: the dense backend returns "
+        "garbage pivots and the sparse backend raises mid-campaign."
+    )
+
+    def check_analog(self, circuit: Any, path: str) -> Iterable[Finding]:
+        # Union-find over DC-conducting connections.
+        parent: dict[str, str] = {_GROUND: _GROUND}
+
+        def find(node: str) -> str:
+            parent.setdefault(node, node)
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        def union(a: str, b: str) -> None:
+            parent[find(a)] = find(b)
+
+        for component in circuit.components:
+            edges = _dc_edges(component)
+            for a, b in edges:
+                union(a, b)
+        ground = find(_GROUND)
+        for node in circuit.nodes():
+            if find(node) != ground:
+                yield self.finding(
+                    f"node {node!r} has no DC-conducting path to ground "
+                    "(capacitors block DC; current sources pin no "
+                    "potential) — the DC operating point is singular",
+                    path,
+                )
+
+
+def _dc_edges(component: Any) -> list[tuple[str, str]]:
+    """Node pairs a component DC-connects (class-name based, so the
+    checker never imports solver machinery it doesn't need)."""
+    kind = type(component).__name__
+    if kind in ("Resistor", "Inductor"):
+        return [(component.n1, component.n2)]
+    if kind == "VoltageSource":
+        # The source branch pins v(plus) - v(minus).
+        return [(component.plus, component.minus)]
+    if kind == "VCVS":
+        # The controlled branch pins its output pair (control side is
+        # high-impedance: no edge).
+        return [(component.out_plus, component.out_minus)]
+    if kind == "IdealOpAmp":
+        # The nullor's output column sources arbitrary current: the
+        # output node is pinned by the feedback loop's branch equation.
+        return [(component.out, _GROUND)]
+    if kind == "FiniteOpAmp":
+        # Norton output (g_out to ground) + differential input resistance.
+        return [(component.out, _GROUND), (component.in_plus, component.in_minus)]
+    if kind == "VCCS":
+        return []
+    # Capacitor, CurrentSource: no DC conduction.
+    return []
+
+
+# ----------------------------------------------------------------------
+class Net103DanglingFanin(NetlistRule):
+    """Gate fan-ins / outputs naming signals nothing drives."""
+
+    id = "NET103"
+    title = "dangling digital reference"
+    rationale = (
+        "A fan-in naming a signal that is neither a primary input nor "
+        "a gate output (or a declared output that doesn't exist) is a "
+        "netlist whose simulation semantics are undefined — the "
+        "interpreter raises at simulation time, deep inside a "
+        "campaign, instead of at build time."
+    )
+
+    def check_digital(self, circuit: Any, path: str) -> Iterable[Finding]:
+        known = set(circuit.inputs) | set(circuit.gates)
+        for gate in circuit.gates.values():
+            for pin, source in enumerate(gate.fanins):
+                if source not in known:
+                    yield self.finding(
+                        f"gate {gate.output!r} fan-in {pin} reads "
+                        f"{source!r}, which no input or gate drives",
+                        path,
+                    )
+        for output in circuit.outputs:
+            if output not in known:
+                yield self.finding(
+                    f"declared output {output!r} is not a known signal",
+                    path,
+                )
+
+
+# ----------------------------------------------------------------------
+def _output_cone(circuit: Any) -> set[str]:
+    """Signals in the transitive fan-in of any primary output."""
+    cone: set[str] = set()
+    stack = [o for o in circuit.outputs if o in circuit.gates or o in circuit.inputs]
+    while stack:
+        signal = stack.pop()
+        if signal in cone:
+            continue
+        cone.add(signal)
+        gate = circuit.gates.get(signal)
+        if gate is not None:
+            stack.extend(gate.fanins)
+    return cone
+
+
+class Net104DeadGate(NetlistRule):
+    """Gates outside every primary output's fan-in cone."""
+
+    id = "NET104"
+    title = "dead gate (unobservable logic)"
+    rationale = (
+        "A gate whose value can never reach a primary output is "
+        "unobservable: every fault on it is structurally undetectable, "
+        "silently deflating fault coverage while inflating the fault "
+        "universe ATPG grinds through."
+    )
+
+    def check_digital(self, circuit: Any, path: str) -> Iterable[Finding]:
+        cone = _output_cone(circuit)
+        for name in circuit.gates:
+            if name not in cone:
+                yield self.finding(
+                    f"gate {name!r} feeds no primary output (dead logic: "
+                    "faults on it are undetectable by construction)",
+                    path,
+                )
+
+
+class Net105UnusedInput(NetlistRule):
+    """Primary inputs no gate reads."""
+
+    id = "NET105"
+    title = "unused primary input"
+    rationale = (
+        "An input no gate reads (and that isn't itself an output) "
+        "widens every vector and the BDD variable order for nothing — "
+        "and usually means a converter line or testpoint was wired to "
+        "the wrong name."
+    )
+
+    def check_digital(self, circuit: Any, path: str) -> Iterable[Finding]:
+        read = {src for gate in circuit.gates.values() for src in gate.fanins}
+        for name in circuit.inputs:
+            if name not in read and name not in circuit.outputs:
+                yield self.finding(
+                    f"primary input {name!r} is read by no gate and is "
+                    "not an output",
+                    path,
+                )
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def netlist_rules() -> list[NetlistRule]:
+    """Fresh instances of every netlist rule."""
+    return [
+        Net101FloatingNode(),
+        Net102NoDcPathToGround(),
+        Net103DanglingFanin(),
+        Net104DeadGate(),
+        Net105UnusedInput(),
+    ]
+
+
+def lint_circuit(
+    circuit: Any,
+    name: str | None = None,
+    rules: Sequence[NetlistRule] | None = None,
+) -> LintReport:
+    """Semantic findings for one circuit (any substrate).
+
+    Accepts an :class:`~repro.spice.AnalogCircuit`, a digital
+    :class:`~repro.digital.netlist.Circuit`, or a
+    :class:`~repro.core.MixedSignalCircuit` (whose analog and digital
+    blocks are each checked, findings pathed ``name/analog`` and
+    ``name/digital``).
+    """
+    active = list(rules) if rules is not None else netlist_rules()
+    report = LintReport()
+    label = name or getattr(circuit, "name", type(circuit).__name__)
+    for substrate, sub_path in _substrates(circuit, label):
+        kind = _substrate_kind(substrate)
+        for rule in active:
+            if kind == "analog":
+                report.findings.extend(rule.check_analog(substrate, sub_path))
+            else:
+                report.findings.extend(rule.check_digital(substrate, sub_path))
+    report.circuits_checked = 1
+    return report
+
+
+def _substrates(circuit: Any, label: str) -> Iterator[tuple[Any, str]]:
+    analog = getattr(circuit, "analog", None)
+    digital = getattr(circuit, "digital", None)
+    if analog is not None or digital is not None:  # MixedSignalCircuit
+        if analog is not None:
+            yield analog, f"{label}/analog"
+        if digital is not None:
+            yield digital, f"{label}/digital"
+        return
+    yield circuit, label
+
+
+def _substrate_kind(substrate: Any) -> str:
+    return "analog" if hasattr(substrate, "components") else "digital"
+
+
+def lint_registry(
+    names: Sequence[str] | None = None,
+    kind: str | None = None,
+    rules: Sequence[NetlistRule] | None = None,
+) -> LintReport:
+    """Run the netlist rules over registry circuits (default: all)."""
+    from ..lint import LintError
+    from ...api.registry import default_registry
+
+    registry = default_registry()
+    report = LintReport()
+    if names is not None:
+        specs = [registry.get(name) for name in names]
+    else:
+        specs = registry.specs(kind)
+    if not specs:
+        raise LintError(f"no registry circuits match kind={kind!r}")
+    for spec in specs:
+        report.extend(lint_circuit(spec.build(), name=spec.name, rules=rules))
+    return report

@@ -75,6 +75,17 @@ _LEGAL = {
 _GENERATION_STAGES = ("sensitivity", "stimulus")
 
 
+def _now() -> float:
+    """Wall-clock timestamp for job/event metadata.
+
+    The sole wall-clock read in the service layer: timestamps record
+    *when* a job moved, feed nothing that campaigns compute, and are
+    excluded from fingerprints — so this is operational metadata, not
+    outcome identity.
+    """
+    return round(time.time(), 6)  # repro-lint: disable=DET001
+
+
 class JobStateError(ConfigError):
     """An illegal job state transition (or unknown state) was requested."""
 
@@ -306,7 +317,7 @@ class JobQueue:
     def _append_event(self, job: Job, kind: str, **data) -> dict:
         event = {
             "seq": len(job.events),
-            "ts": round(time.time(), 6),
+            "ts": _now(),
             "kind": kind,
             **data,
         }
@@ -396,7 +407,7 @@ class JobQueue:
                     f"job {job_id} cannot move {job.state!r} -> {state!r}"
                 )
             job.state = state
-            now = round(time.time(), 6)
+            now = _now()
             if state == "running":
                 job.started = now
             if state in TERMINAL_STATES:
@@ -435,8 +446,8 @@ class JobQueue:
                     spec=spec,
                     fingerprint=fingerprint,
                     state="done",
-                    created=round(time.time(), 6),
-                    finished=round(time.time(), 6),
+                    created=_now(),
+                    finished=_now(),
                     artifact=fingerprint,
                     served_from_store=True,
                 )
@@ -449,7 +460,7 @@ class JobQueue:
                 id=job_id,
                 spec=spec,
                 fingerprint=fingerprint,
-                created=round(time.time(), 6),
+                created=_now(),
             )
             self._append_event(job, "submitted")
             self._jobs[job_id] = job

@@ -95,6 +95,25 @@ class TestAtpgArtifact:
         assert decoded.fault_coverage == pytest.approx(run.fault_coverage)
 
 
+class TestJobArtifact:
+    def test_round_trip(self):
+        from repro.service.jobs import Job, JobSpec
+
+        job = Job(
+            id="j000001-deadbeef",
+            spec=JobSpec(circuit="fig4-mixed"),
+            fingerprint="deadbeef" * 8,
+            state="queued",
+            created=1.5,
+            events=[{"seq": 0, "ts": 1.5, "kind": "submitted"}],
+        )
+        artifact = Artifact.from_job(job.to_document(), circuit="fig4-mixed")
+        assert artifact.kind == "job"
+        again = Artifact.from_json(artifact.to_json())
+        decoded = Job.from_document(again.payload)
+        assert decoded == job
+
+
 class TestEnvelope:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="kind"):

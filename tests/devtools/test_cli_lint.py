@@ -1,0 +1,50 @@
+"""The ``lint`` CLI verb: selectors, formats, the 0/1/2 exit contract."""
+
+import json
+
+from repro.api.cli import main
+
+
+class TestExitContract:
+    def test_clean_circuit_exits_zero(self, capsys):
+        assert main(["lint", "fig4"]) == 0
+        assert "1 circuit(s)" in capsys.readouterr().out
+
+    def test_unknown_circuit_exits_two(self, capsys):
+        assert main(["lint", "no-such-circuit"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        package = tmp_path / "repro"
+        package.mkdir()
+        (package / "bad.py").write_text("import time\nt = time.time()\n")
+        code = main(
+            ["lint", "--src", "--src-root", str(tmp_path),
+             "--tests-root", str(tmp_path)]
+        )
+        assert code == 1
+        assert "DET001" in capsys.readouterr().out
+
+
+class TestSelectors:
+    def test_src_on_the_shipped_tree_is_clean(self, capsys):
+        assert main(["lint", "--src"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_circuits_sweep_is_clean(self, capsys):
+        assert main(["lint", "--circuits"]) == 0
+        assert "circuit(s)" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys):
+        assert main(["lint", "fig4", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["exit_code"] == 0
+        assert document["summary"]["circuits_checked"] == 1
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "FPR002", "LCK003", "ENG004",
+                        "ART005", "CFG006", "NET101", "NET105"):
+            assert rule_id in out

@@ -1,0 +1,100 @@
+"""Engine mechanics: suppressions, projects, reports, exit codes."""
+
+import json
+
+import pytest
+
+from repro.devtools.lint import LintError, LintReport, Project
+from repro.devtools.lint.engine import Finding, suppressions_of
+
+
+class TestSuppressions:
+    def test_same_line_comment_covers_only_its_line(self):
+        text = "x = 1  # repro-lint: disable=DET001\n"
+        assert suppressions_of(text) == {1: {"DET001"}}
+
+    def test_standalone_comment_covers_next_line(self):
+        text = "# repro-lint: disable=LCK003\nx = 1\ny = 2\n"
+        suppressed = suppressions_of(text)
+        assert suppressed[1] == {"LCK003"}
+        assert suppressed[2] == {"LCK003"}
+        assert 3 not in suppressed
+
+    def test_multiple_rules_and_all(self):
+        text = "a = 1  # repro-lint: disable=DET001,CFG006\nb = 2  # repro-lint: disable=all\n"
+        suppressed = suppressions_of(text)
+        assert suppressed[1] == {"DET001", "CFG006"}
+        assert "all" in suppressed[2]
+
+    def test_plain_comments_do_not_suppress(self):
+        assert suppressions_of("x = 1  # a normal comment\n") == {}
+
+
+class TestProject:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(LintError):
+            Project()
+        with pytest.raises(LintError):
+            Project(src_root="src", files={"a.py": ""})
+
+    def test_in_memory_files(self):
+        project = Project(files={"pkg/a.py": "x = 1\n", "pkg/b.txt": "no"})
+        assert project.paths() == ["pkg/a.py"]
+        assert project.module("pkg/a.py") is not None
+        assert project.module("missing.py") is None
+
+    def test_syntax_error_is_a_lint_error(self):
+        project = Project(files={"bad.py": "def broken(:\n"})
+        with pytest.raises(LintError, match="bad.py"):
+            project.module("bad.py")
+
+    def test_tuple_constant_extraction(self):
+        project = Project(
+            files={
+                "m.py": 'KINDS = ("a", "b")\nSET = frozenset({"c"})\n',
+            }
+        )
+        assert project.tuple_constant("m.py", "KINDS") == ("a", "b")
+        assert project.tuple_constant("m.py", "SET") == ("c",)
+        assert project.tuple_constant("m.py", "MISSING") == ()
+
+
+class TestLintReport:
+    def _finding(self, suppressed=False):
+        return Finding(
+            rule="DET001", message="m", path="p.py", line=3,
+            suppressed=suppressed,
+        )
+
+    def test_exit_codes(self):
+        assert LintReport().exit_code == 0
+        assert LintReport(findings=[self._finding(True)]).exit_code == 0
+        assert LintReport(findings=[self._finding()]).exit_code == 1
+
+    def test_render_text_has_location_and_summary(self):
+        report = LintReport(findings=[self._finding()], files_checked=2)
+        text = report.render_text()
+        assert "p.py:3" in text
+        assert "[DET001]" in text
+        assert "1 finding(s), 0 suppressed" in text
+
+    def test_render_json_round_trips(self):
+        report = LintReport(
+            findings=[self._finding(), self._finding(True)],
+            files_checked=1,
+            circuits_checked=4,
+        )
+        document = json.loads(report.render_json())
+        assert document["summary"]["unsuppressed"] == 1
+        assert document["summary"]["suppressed"] == 1
+        assert document["summary"]["circuits_checked"] == 4
+        assert document["summary"]["exit_code"] == 1
+        assert document["findings"][0]["rule"] == "DET001"
+
+    def test_extend_folds_counts(self):
+        a = LintReport(findings=[self._finding()], files_checked=1)
+        b = LintReport(circuits_checked=2)
+        a.extend(b)
+        assert a.files_checked == 1
+        assert a.circuits_checked == 2
+        assert len(a.findings) == 1

@@ -1,0 +1,176 @@
+"""Netlist rules: every registry circuit passes; seeded breakage fails."""
+
+import pytest
+
+from repro.api.registry import default_registry
+from repro.devtools.lint import lint_circuit, lint_registry
+from repro.digital.netlist import Circuit
+from repro.spice import AnalogCircuit
+
+
+def _rules_hit(report):
+    return {f.rule for f in report.unsuppressed}
+
+
+# ----------------------------------------------------------------------
+class TestRegistrySweep:
+    def test_every_registry_circuit_is_semantically_clean(self):
+        report = lint_registry()
+        assert report.unsuppressed == []
+        assert report.circuits_checked == len(default_registry().specs())
+
+    def test_named_subset(self):
+        report = lint_registry(names=["fig4"])
+        assert report.circuits_checked == 1
+        assert report.unsuppressed == []
+
+    def test_mixed_circuit_substrates_are_pathed(self):
+        mixed = default_registry().get("fig4").build()
+        report = lint_circuit(mixed, name="fig4")
+        assert report.circuits_checked == 1
+        assert report.unsuppressed == []
+
+
+# ----------------------------------------------------------------------
+# seeded-broken analog variants
+# ----------------------------------------------------------------------
+def _divider() -> AnalogCircuit:
+    circuit = AnalogCircuit("divider")
+    circuit.vsource("V1", "in", "0", ac=1.0)
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.resistor("R2", "out", "0", 1e3)
+    return circuit
+
+
+class TestAnalogRules:
+    def test_healthy_divider_is_clean(self):
+        assert lint_circuit(_divider()).unsuppressed == []
+
+    def test_net101_typoed_node_splits_the_net(self):
+        circuit = AnalogCircuit("typo")
+        circuit.vsource("V1", "in", "0", ac=1.0)
+        circuit.resistor("R1", "in", "outt", 1e3)  # meant "out"
+        circuit.resistor("R2", "out", "0", 1e3)
+        report = lint_circuit(circuit)
+        assert "NET101" in _rules_hit(report)
+        messages = " ".join(f.message for f in report.unsuppressed)
+        assert "'outt'" in messages
+
+    def test_net102_capacitor_island_has_no_dc_path(self):
+        circuit = AnalogCircuit("island")
+        circuit.vsource("V1", "in", "0", ac=1.0)
+        circuit.capacitor("C1", "in", "x", 1e-6)
+        circuit.capacitor("C2", "x", "0", 1e-6)
+        report = lint_circuit(circuit)
+        assert _rules_hit(report) == {"NET102"}
+        [finding] = report.unsuppressed
+        assert "'x'" in finding.message
+
+    def test_net102_inductor_conducts_dc(self):
+        circuit = AnalogCircuit("rl")
+        circuit.vsource("V1", "in", "0", ac=1.0)
+        circuit.inductor("L1", "in", "out", 1e-3)
+        circuit.resistor("R1", "out", "0", 1e3)
+        assert lint_circuit(circuit).unsuppressed == []
+
+    def test_net102_opamp_output_counts_as_pinned(self):
+        # Inverting amplifier: the op-amp output node's only DC
+        # neighbours are through the feedback resistor; the nullor
+        # branch itself pins it.
+        circuit = AnalogCircuit("inverting")
+        circuit.vsource("V1", "in", "0", ac=1.0)
+        circuit.resistor("Rin", "in", "sum", 1e3)
+        circuit.resistor("Rf", "sum", "out", 1e4)
+        circuit.opamp("U1", "0", "sum", "out")
+        assert lint_circuit(circuit).unsuppressed == []
+
+
+# ----------------------------------------------------------------------
+# seeded-broken digital variants
+# ----------------------------------------------------------------------
+def _and2() -> Circuit:
+    c = Circuit("and2")
+    c.add_input("a")
+    c.add_input("b")
+    c.and_("y", "a", "b")
+    c.add_output("y")
+    return c
+
+
+class TestDigitalRules:
+    def test_healthy_and_gate_is_clean(self):
+        assert lint_circuit(_and2()).unsuppressed == []
+
+    def test_net103_dangling_fanin(self):
+        c = Circuit("dangling")
+        c.add_input("a")
+        c.and_("y", "a", "ghost")
+        c.add_output("y")
+        report = lint_circuit(c)
+        assert "NET103" in _rules_hit(report)
+        messages = " ".join(f.message for f in report.unsuppressed)
+        assert "'ghost'" in messages
+
+    def test_net103_undriven_declared_output(self):
+        c = _and2()
+        c.outputs.append("phantom")
+        report = lint_circuit(c)
+        assert "NET103" in _rules_hit(report)
+
+    def test_net104_dead_gate(self):
+        c = _and2()
+        c.or_("dead", "a", "b")  # feeds no output
+        report = lint_circuit(c)
+        assert _rules_hit(report) == {"NET104"}
+        [finding] = report.unsuppressed
+        assert "'dead'" in finding.message
+
+    def test_net105_unused_input(self):
+        c = _and2()
+        c.add_input("unused")
+        report = lint_circuit(c)
+        assert _rules_hit(report) == {"NET105"}
+        [finding] = report.unsuppressed
+        assert "'unused'" in finding.message
+
+    def test_passthrough_input_output_is_not_unused(self):
+        c = Circuit("wire")
+        c.add_input("a")
+        c.add_output("a")
+        assert lint_circuit(c).unsuppressed == []
+
+    def test_registry_digital_blocks_have_no_dead_logic(self):
+        for spec in default_registry().specs("digital"):
+            report = lint_circuit(spec.build(), name=spec.name)
+            assert report.unsuppressed == [], spec.name
+
+
+# ----------------------------------------------------------------------
+class TestPipelinePreflight:
+    def test_preflight_attaches_diagnostics_and_timing(self):
+        from repro.api.pipeline import Pipeline
+
+        mixed = default_registry().get("fig4").build()
+        outcome = Pipeline(("sensitivity",)).run(mixed, preflight=True)
+        assert outcome.lint_diagnostics == {
+            "findings": 0,
+            "circuits_checked": 1,
+            "details": [],
+        }
+        assert outcome.timings[0].stage == "preflight"
+
+    def test_preflight_off_by_default(self):
+        from repro.api.pipeline import Pipeline
+
+        mixed = default_registry().get("fig4").build()
+        outcome = Pipeline(("sensitivity",)).run(mixed)
+        assert outcome.lint_diagnostics is None
+        assert all(t.stage != "preflight" for t in outcome.timings)
+
+
+class TestLintRegistryErrors:
+    def test_unknown_circuit_raises(self):
+        from repro.api.config import UnknownNameError
+
+        with pytest.raises(UnknownNameError):
+            lint_registry(names=["no-such-circuit"])
