@@ -27,6 +27,7 @@ from ..core import (
     AnalogTestStatus,
     Bound,
     CampaignResult,
+    FailureRecord,
     InjectionOutcome,
     MixedTestReport,
     TestProgram,
@@ -47,6 +48,10 @@ ARTIFACT_KINDS = (
     # A persisted service job (repro.service.jobs): its payload is the
     # job document — spec, state, timestamps, events, result pointer.
     "job",
+    # Durable failure evidence (repro.core.resilience.FailureRecord):
+    # what a quarantined shard or a poisoned job leaves behind for
+    # auditors — phase, final error, attempts consumed, fingerprint.
+    "failure",
 )
 
 
@@ -227,7 +232,7 @@ def _report_from_document(doc: dict) -> MixedTestReport:
 
 
 def _campaign_document(result: CampaignResult) -> dict:
-    return {
+    document = {
         "outcomes": [
             {
                 "element": o.element,
@@ -239,6 +244,13 @@ def _campaign_document(result: CampaignResult) -> dict:
             for o in result.outcomes
         ]
     }
+    # Partial keys only appear on partial results, so the document of a
+    # complete campaign is byte-identical to what every earlier version
+    # of this codec wrote (and to a recovered-then-completed run).
+    if result.partial:
+        document["partial"] = True
+        document["failed_shards"] = [dict(row) for row in result.failed_shards]
+    return document
 
 
 def _campaign_from_document(doc: dict) -> CampaignResult:
@@ -252,7 +264,9 @@ def _campaign_from_document(doc: dict) -> CampaignResult:
                 detecting_target=o.get("detecting_target"),
             )
             for o in doc["outcomes"]
-        ]
+        ],
+        partial=bool(doc.get("partial", False)),
+        failed_shards=[dict(row) for row in doc.get("failed_shards", [])],
     )
 
 
@@ -380,6 +394,22 @@ class Artifact:
         )
 
     @classmethod
+    def from_failure(
+        cls,
+        record,
+        circuit: str | None = None,
+        meta: dict | None = None,
+    ) -> "Artifact":
+        """Wrap a :class:`repro.core.resilience.FailureRecord` as durable
+        evidence (a quarantined shard's or poisoned job's post-mortem)."""
+        return cls(
+            kind="failure",
+            circuit=circuit,
+            payload=record.to_document(),
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
     def from_experiment(
         cls,
         name: str,
@@ -422,6 +452,12 @@ class Artifact:
         if self.kind != "atpg":
             raise ValueError(f"artifact of kind {self.kind!r} has no ATPG run")
         return _atpg_from_document(self.payload)
+
+    def failure(self) -> FailureRecord:
+        """Decode a ``failure`` artifact back into its record."""
+        if self.kind != "failure":
+            raise ValueError(f"artifact of kind {self.kind!r} has no failure")
+        return FailureRecord.from_document(self.payload)
 
     # -- the envelope ---------------------------------------------------
     def to_document(self) -> dict:

@@ -181,6 +181,34 @@ class CampaignConfig(_Replaceable):
             versioned ``campaign-shard`` artifact in this directory and
             a re-run resumes from every checkpoint whose fingerprint
             still matches, instead of re-executing it.
+        shard_attempts: total execution attempts each shard gets (first
+            try included) before it is quarantined; ``1`` disables
+            retries.  Retry backoff is deterministic (seeded from
+            ``seed``), so a re-run retries on the identical schedule.
+        shard_timeout: per-shard deadline in seconds (``None`` = no
+            deadline).  A shard past its deadline has its worker killed
+            and the attempt counts as a failure; completed shards keep
+            their checkpoints.
+        retry_backoff: base backoff before a shard's second attempt, in
+            seconds (exponential growth, deterministic seeded jitter).
+        quarantine: after ``shard_attempts`` failures, drop the shard
+            and complete the campaign with ``CampaignResult.partial``
+            set and a failed-shard manifest (the default).  ``False``
+            restores the historical abort-on-failure behaviour
+            (:class:`repro.core.sharding.ShardExecutionError`).
+        heartbeat_interval: emit a liveness
+            :class:`~repro.core.sharding.ShardHeartbeat` through the
+            ``progress`` callback every this-many seconds while shard
+            workers execute (``None`` = no heartbeats).
+        chaos: JSON :class:`repro.devtools.chaos.ChaosPlan` document
+            injecting deterministic failures into the executor — a
+            dev/test harness, never set in production.  Excluded from
+            fingerprints: chaos perturbs execution, not outcomes.
+
+        The six resilience knobs above change how failures are
+        *handled*, never which outcomes a completed campaign produces,
+        so all of them sit in
+        :data:`repro.core.sharding.FINGERPRINT_EXCLUDED_FIELDS`.
     """
 
     faults_per_element: int = 6
@@ -195,6 +223,12 @@ class CampaignConfig(_Replaceable):
     shards: int = 1
     shard_workers: int | None = None
     checkpoint_dir: str | None = None
+    shard_attempts: int = 2
+    shard_timeout: float | None = None
+    retry_backoff: float = 0.05
+    quarantine: bool = True
+    heartbeat_interval: float | None = None
+    chaos: str | None = None
 
     def __post_init__(self) -> None:
         _require(
@@ -244,6 +278,31 @@ class CampaignConfig(_Replaceable):
         _require(
             self.shard_workers is None or self.shard_workers >= 1,
             f"shard_workers must be None or >= 1, got {self.shard_workers!r}",
+        )
+        _require(
+            self.shard_attempts >= 1,
+            f"shard_attempts must be >= 1, got {self.shard_attempts!r}",
+        )
+        _require(
+            self.shard_timeout is None or self.shard_timeout > 0.0,
+            f"shard_timeout must be None or > 0, got {self.shard_timeout!r}",
+        )
+        _require(
+            self.retry_backoff >= 0.0,
+            f"retry_backoff must be >= 0, got {self.retry_backoff!r}",
+        )
+        _require(
+            isinstance(self.quarantine, bool),
+            f"quarantine must be a bool, got {self.quarantine!r}",
+        )
+        _require(
+            self.heartbeat_interval is None or self.heartbeat_interval > 0.0,
+            "heartbeat_interval must be None or > 0, got "
+            f"{self.heartbeat_interval!r}",
+        )
+        _require(
+            self.chaos is None or isinstance(self.chaos, str),
+            f"chaos must be None or a JSON string, got {self.chaos!r}",
         )
 
 

@@ -7,7 +7,14 @@ from .coverage import AnalogElementTest, AnalogTestStatus, MixedTestReport
 from .generator import MixedSignalTestGenerator
 from .board import StateVariableBoard, Table8Row
 from .campaign import CampaignResult, InjectionOutcome, run_campaign
-from .sharding import run_sharded_campaign, shard_bounds
+from .resilience import Deadline, FailureRecord, RetryPolicy
+from .sharding import (
+    ShardExecutionError,
+    ShardHeartbeat,
+    ShardRetry,
+    run_sharded_campaign,
+    shard_bounds,
+)
 from .diagnose import Diagnosis, build_dictionary, diagnose
 from .program_io import TestProgram, dumps, loads, program_from_report
 from .report import format_ed, format_seconds, format_table
@@ -38,6 +45,12 @@ __all__ = [
     "run_campaign",
     "run_sharded_campaign",
     "shard_bounds",
+    "ShardExecutionError",
+    "ShardHeartbeat",
+    "ShardRetry",
+    "Deadline",
+    "FailureRecord",
+    "RetryPolicy",
     "format_table",
     "format_ed",
     "format_seconds",

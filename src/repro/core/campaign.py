@@ -92,7 +92,13 @@ def run_campaign(
     faults = draw_faults(
         testable, config.faults_per_element, config.severity_range, rng
     )
-    if config.shards > 1 or config.checkpoint_dir is not None:
+    if (
+        config.shards > 1
+        or config.checkpoint_dir is not None
+        # Chaos rides the sharded executor: that is where the retry,
+        # quarantine and degradation machinery it exercises lives.
+        or config.chaos is not None
+    ):
         # Imported lazily so the module table stays cheap for the
         # overwhelmingly common unsharded path.
         from .sharding import run_sharded_campaign

@@ -38,6 +38,29 @@ its fingerprint — a digest over the circuit name, the drawn fault
 population and the outcome-relevant config fields — and only executes
 the shards that are missing or stale.  An interrupted campaign therefore
 resumes from its finished shards instead of restarting.
+
+Resilience
+----------
+Each shard gets :attr:`~repro.api.config.CampaignConfig.shard_attempts`
+execution attempts, retried under a deterministic seeded backoff
+(:class:`~repro.core.resilience.RetryPolicy` — re-runs retry on
+identical schedules).  A shard that exhausts its budget is
+**quarantined**: the campaign completes with
+:attr:`~repro.analog.faultsim.CampaignResult.partial` set, a
+failed-shard manifest, and a durable ``failure`` artifact next to the
+checkpoints — merged outcomes on the finished shards stay byte-identical
+to a clean run.  Set ``quarantine=False`` to abort instead
+(:class:`ShardExecutionError`).  Worker-process loss
+(``BrokenProcessPool`` — a crashed or OOM-killed worker) costs the
+in-flight shards one attempt each and **degrades** the rest of the
+campaign to in-process execution rather than failing it.  With
+``shard_timeout`` set, a hung shard's workers are killed at the deadline
+(completed shards keep their checkpoints) and the shard is retried
+in-process.  ``heartbeat_interval`` streams :class:`ShardHeartbeat`
+liveness events through ``progress`` while shards execute; retry
+decisions stream as :class:`ShardRetry`.  The chaos harness
+(:mod:`repro.devtools.chaos`) injects all of these failures
+deterministically so every recovery path above is testable on demand.
 """
 
 from __future__ import annotations
@@ -49,9 +72,11 @@ import os
 import threading
 import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..analog.faultsim import (
     CampaignResult,
@@ -60,22 +85,31 @@ from ..analog.faultsim import (
     get_engine,
 )
 from ..api.config import CampaignConfig, ConfigError
+from .resilience import FailureRecord, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard dep
+    from ..devtools.chaos import ChaosPlan
 
 __all__ = [
     "FINGERPRINT_EXCLUDED_FIELDS",
     "ShardRun",
+    "ShardRetry",
+    "ShardHeartbeat",
+    "ShardExecutionError",
     "shard_bounds",
     "campaign_fingerprint",
     "checkpoint_path",
+    "failure_path",
     "run_sharded_campaign",
 ]
 
 #: :class:`~repro.api.config.CampaignConfig` fields deliberately OUTSIDE
 #: campaign fingerprints (and the service layer's dedup key, which
-#: mirrors this contract): each changes how the work is split, cached or
-#: persisted — never which outcomes it produces — so respecting them in
-#: the key would invalidate checkpoints and defeat dedup on re-runs that
-#: only retune the fan-out.  Every other field MUST be read by
+#: mirrors this contract): each changes how the work is split, cached,
+#: persisted or *recovered* — never which outcomes it produces — so
+#: respecting them in the key would invalidate checkpoints and defeat
+#: dedup on re-runs that only retune the fan-out or the failure
+#: handling.  Every other field MUST be read by
 #: :func:`campaign_fingerprint`; the FPR002 lint rule
 #: (:mod:`repro.devtools.lint`) enforces both directions, so a new
 #: config knob cannot silently leak into or out of dedup identity.
@@ -87,8 +121,23 @@ FINGERPRINT_EXCLUDED_FIELDS = frozenset(
         "checkpoint_dir",   # where results persist, not what they are
         "factor_cache_size",  # LRU bound on retained LUs (pure perf)
         "batch",            # multi-RHS solve strategy, bit-identical
+        "shard_attempts",   # how failures are retried, not outcomes
+        "shard_timeout",    # when hung workers are killed
+        "retry_backoff",    # how long retries wait, pure scheduling
+        "quarantine",       # abort vs partial-complete on exhaustion
+        "heartbeat_interval",  # liveness reporting cadence
+        "chaos",            # injected faults perturb execution, not
+                            # the outcomes of any run that completes
     }
 )
+
+#: supervision granularity of the pool driver: retries launch, deadlines
+#: fire and heartbeats emit within one tick of their due time.
+_TICK = 0.05
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard exhausted its attempts and quarantine is disabled."""
 
 
 def shard_bounds(n_faults: int, shards: int) -> list[tuple[int, int]]:
@@ -139,11 +188,11 @@ def campaign_fingerprint(
     the faults run against (stimulus and digital vector per step — a
     regenerated program must never be scored with another program's
     checkpoints) and every config field that can influence an outcome.
-    Shard counts, worker counts, the checkpoint directory and the
-    ``batch`` execution-strategy flag are deliberately *excluded*:
-    outcomes are independent of how the work is split or batched, so
-    checkpoints stay valid across re-runs that only change the fan-out
-    or the solve strategy.
+    Shard counts, worker counts, the checkpoint directory, the ``batch``
+    execution-strategy flag and the resilience knobs are deliberately
+    *excluded*: outcomes are independent of how the work is split,
+    batched or recovered, so checkpoints stay valid across re-runs that
+    only change the fan-out or the failure handling.
     """
     document = {
         "circuit": circuit_name,
@@ -165,6 +214,11 @@ def checkpoint_path(directory: str | Path, index: int, shards: int) -> Path:
     return Path(directory) / f"shard-{index:04d}-of-{shards:04d}.json"
 
 
+def failure_path(directory: str | Path, index: int, shards: int) -> Path:
+    """Where shard ``index``'s quarantine evidence persists."""
+    return Path(directory) / f"shard-{index:04d}-of-{shards:04d}.failure.json"
+
+
 @dataclass
 class ShardRun:
     """One shard's execution record (fresh or resumed from checkpoint)."""
@@ -174,6 +228,56 @@ class ShardRun:
     seconds: float
     resumed: bool = False
     diagnostics: dict | None = None
+
+
+@dataclass(frozen=True)
+class ShardRetry:
+    """One failed shard attempt, streamed through ``progress``.
+
+    ``next_attempt`` is the attempt about to be scheduled, or ``None``
+    when the budget is exhausted and the shard was quarantined (or, with
+    ``quarantine=False``, the campaign is about to abort).
+    """
+
+    index: int
+    attempt: int
+    error: str
+    kind: str
+    next_attempt: int | None
+
+
+@dataclass(frozen=True)
+class ShardHeartbeat:
+    """Executor liveness, streamed through ``progress`` while shards run.
+
+    Emitted at most every
+    :attr:`~repro.api.config.CampaignConfig.heartbeat_interval` seconds;
+    ``running`` lists the shards in flight at emission time.
+    """
+
+    running: tuple[int, ...]
+    completed: int
+    shards: int
+    elapsed: float
+
+
+@dataclass
+class _ShardFailure:
+    """One failed attempt, returned as *data* across the process boundary.
+
+    Workers never raise into the pool: an exception escaping a worker
+    only reports which future failed, while a value reports the attempt
+    number and failure kind the supervisor needs for retry decisions —
+    and survives ``fork``-boundary pickling no matter what the original
+    exception was.  ``kind`` is ``"exception"``, ``"worker-lost"`` or
+    ``"deadline"``.
+    """
+
+    index: int
+    attempt: int
+    error: str
+    kind: str
+    seconds: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -195,6 +299,19 @@ class _ShardContext:
 #: instead of clobbering each other's context.
 _fork_context: _ShardContext | None = None
 _fork_lock = threading.Lock()
+
+
+def _active_plan(config: CampaignConfig) -> "ChaosPlan | None":
+    """The chaos plan in force, or ``None`` (the production fast path).
+
+    Imported lazily and only when a spec is present, so campaigns never
+    pay for :mod:`repro.devtools` unless chaos is actually requested.
+    """
+    if config.chaos is None and not os.environ.get("REPRO_CHAOS"):
+        return None
+    from ..devtools.chaos import resolve_plan
+
+    return resolve_plan(config.chaos)
 
 
 def _execute_shard(context: _ShardContext, index: int) -> ShardRun:
@@ -221,12 +338,55 @@ def _execute_shard(context: _ShardContext, index: int) -> ShardRun:
     )
 
 
-def _execute_shard_forked(index: int) -> ShardRun:
+def _execute_shard_guarded(
+    context: _ShardContext, index: int, attempt: int, in_process: bool
+) -> ShardRun | _ShardFailure:
+    """One guarded attempt: chaos hook, execution, deadline check.
+
+    Failures come back as :class:`_ShardFailure` values, never as raised
+    exceptions — the supervisor decides retry vs quarantine, and values
+    cross the fork boundary reliably where arbitrary exceptions may not.
+    """
+    begin = time.perf_counter()
+    try:
+        plan = _active_plan(context.config)
+        if plan is not None:
+            plan.fire("shard", index, attempt=attempt, in_process=in_process)
+        run = _execute_shard(context, index)
+    except Exception as error:
+        return _ShardFailure(
+            index=index,
+            attempt=attempt,
+            error=f"{type(error).__name__}: {error}",
+            kind="exception",
+            seconds=time.perf_counter() - begin,
+        )
+    timeout = context.config.shard_timeout
+    total = time.perf_counter() - begin
+    if timeout is not None and total > timeout:
+        # The in-process deadline is a check-after: nothing can kill a
+        # shard running in the caller's own process, so an overrun is
+        # detected on completion and its result discarded for a retry.
+        # (The pool driver kills overrunning *workers* pre-emptively.)
+        return _ShardFailure(
+            index=index,
+            attempt=attempt,
+            error=(
+                f"shard {index} exceeded its {timeout:.3f}s deadline "
+                f"({total:.3f}s elapsed)"
+            ),
+            kind="deadline",
+            seconds=total,
+        )
+    return run
+
+
+def _execute_shard_forked(index: int, attempt: int) -> ShardRun | _ShardFailure:
     """Process-pool entry point: runs in a forked worker."""
     context = _fork_context
     if context is None:  # pragma: no cover — defensive, fork inherits it
         raise RuntimeError("shard worker forked without a campaign context")
-    return _execute_shard(context, index)
+    return _execute_shard_guarded(context, index, attempt, in_process=False)
 
 
 # ----------------------------------------------------------------------
@@ -238,6 +398,7 @@ def _write_checkpoint(
     shards: int,
     fingerprint: str,
     circuit_name: str,
+    plan: "ChaosPlan | None" = None,
 ) -> Path:
     """Persist one completed shard atomically (temp file + rename)."""
     # Imported lazily: repro.api.artifact imports repro.core, so a
@@ -256,8 +417,34 @@ def _write_checkpoint(
         # still reports which backend/engines produced its outcomes.
         meta={"diagnostics": run.diagnostics or {}},
     )
+    if plan is not None:
+        event = plan.event_for("checkpoint", run.index)
+        if event is not None and event.action == "torn":
+            # Simulate dying mid-write to the final path: leave half the
+            # document behind and abort.  Resume must treat the torn
+            # file as missing and re-execute exactly this shard.
+            from ..devtools.chaos import ChaosError
+
+            text = artifact.to_json()
+            path = checkpoint_path(directory, run.index, shards)
+            path.write_text(text[: len(text) // 2], encoding="utf-8")
+            raise ChaosError(
+                f"chaos[checkpoint:{run.index}]: torn checkpoint write"
+            )
     return write_artifact_atomic(
         checkpoint_path(directory, run.index, shards), artifact
+    )
+
+
+def _write_failure(
+    directory: str | Path, record: FailureRecord, index: int, shards: int
+) -> Path:
+    """Persist a quarantined shard's evidence as a ``failure`` artifact."""
+    from ..api.artifact import Artifact
+    from .atomic_io import write_artifact_atomic
+
+    return write_artifact_atomic(
+        failure_path(directory, index, shards), Artifact.from_failure(record)
     )
 
 
@@ -314,17 +501,40 @@ def run_sharded_campaign(
     completed shards persist as ``campaign-shard`` artifacts and valid
     checkpoints are reused instead of re-executed.
 
+    Failed shard attempts are retried under the config's deterministic
+    backoff; shards that exhaust ``config.shard_attempts`` are
+    quarantined (the result comes back ``partial`` with a failed-shard
+    manifest) unless ``config.quarantine`` is off, in which case the
+    campaign raises :class:`ShardExecutionError`.  Lost worker processes
+    degrade the remaining shards to in-process execution instead of
+    failing the campaign.
+
     ``progress``, when given, is called in the parent with each
     completed (or checkpoint-resumed) :class:`ShardRun` the moment it
-    lands — the streaming hook the service layer's job events ride on.
-    An exception raised by the callback aborts the campaign (completed
-    shards keep their checkpoints), which is how a job cancellation
-    interrupts a run between shards.
+    lands — the streaming hook the service layer's job events ride on —
+    and additionally with :class:`ShardRetry` per failed attempt and
+    :class:`ShardHeartbeat` liveness ticks when
+    ``config.heartbeat_interval`` is set.  An exception raised by the
+    callback aborts the campaign (completed shards keep their
+    checkpoints), which is how a job cancellation interrupts a run
+    between shards.
     """
     shards = config.shards
     bounds = shard_bounds(len(faults), shards)
     fingerprint = campaign_fingerprint(mixed.name, config, faults, steps)
+    plan = _active_plan(config)
+    policy = RetryPolicy(
+        max_attempts=config.shard_attempts,
+        base_delay=config.retry_backoff,
+        seed=config.seed,
+    )
     runs: dict[int, ShardRun] = {}
+    attempts: dict[int, int] = dict.fromkeys(range(shards), 0)
+    quarantined: dict[int, FailureRecord] = {}
+    retry_rows: list[dict] = []
+    degraded = False
+    began = time.monotonic()
+    last_beat = began
 
     directory = config.checkpoint_dir
     if directory is not None:
@@ -354,12 +564,94 @@ def run_sharded_campaign(
     def record(run: ShardRun) -> None:
         runs[run.index] = run
         if directory is not None:
-            _write_checkpoint(directory, run, shards, fingerprint, mixed.name)
+            _write_checkpoint(
+                directory, run, shards, fingerprint, mixed.name, plan
+            )
+            # A shard that eventually succeeded clears any quarantine
+            # evidence a previous run of this campaign left behind.
+            failure_path(directory, run.index, shards).unlink(missing_ok=True)
         if progress is not None:
             # Called after the checkpoint is durable: a callback that
             # aborts the campaign never loses the shard it saw land.
             progress(run)
 
+    def beat(running: Sequence[int]) -> None:
+        nonlocal last_beat
+        interval = config.heartbeat_interval
+        if interval is None or progress is None:
+            return
+        now = time.monotonic()
+        if now - last_beat >= interval:
+            last_beat = now
+            progress(
+                ShardHeartbeat(
+                    running=tuple(sorted(running)),
+                    completed=len(runs),
+                    shards=shards,
+                    elapsed=now - began,
+                )
+            )
+
+    def register_failure(failure: _ShardFailure) -> float | None:
+        """Log one failed attempt: backoff delay if retrying, else
+        quarantine (returning ``None``)."""
+        retrying = policy.should_retry(failure.attempt)
+        retry_rows.append(
+            {
+                "shard": failure.index,
+                "attempt": failure.attempt,
+                "kind": failure.kind,
+                "error": failure.error,
+                "retried": retrying,
+            }
+        )
+        if progress is not None:
+            progress(
+                ShardRetry(
+                    index=failure.index,
+                    attempt=failure.attempt,
+                    error=failure.error,
+                    kind=failure.kind,
+                    next_attempt=failure.attempt + 1 if retrying else None,
+                )
+            )
+        if retrying:
+            return policy.delay(failure.index, failure.attempt)
+        start, stop = bounds[failure.index]
+        evidence = FailureRecord(
+            phase="shard",
+            error=failure.error,
+            attempts=failure.attempt,
+            key=str(failure.index),
+            fingerprint=fingerprint,
+            detail={"kind": failure.kind, "start": start, "stop": stop},
+        )
+        quarantined[failure.index] = evidence
+        if directory is not None:
+            _write_failure(directory, evidence, failure.index, shards)
+        if not config.quarantine:
+            raise ShardExecutionError(
+                f"shard {failure.index} failed after {failure.attempt} "
+                f"attempt(s): {failure.error}"
+            )
+        return None
+
+    def run_serial(indices: Sequence[int]) -> None:
+        for index in indices:
+            while index not in runs and index not in quarantined:
+                beat((index,))
+                attempts[index] += 1
+                result = _execute_shard_guarded(
+                    context, index, attempts[index], in_process=True
+                )
+                if isinstance(result, ShardRun):
+                    record(result)
+                else:
+                    delay = register_failure(result)
+                    if delay:
+                        time.sleep(delay)
+
+    pool_broken = False
     if use_processes:
         global _fork_context
         with _fork_lock:
@@ -369,28 +661,192 @@ def run_sharded_campaign(
                     max_workers=workers,
                     mp_context=multiprocessing.get_context("fork"),
                 ) as pool:
-                    futures = [
-                        pool.submit(_execute_shard_forked, index)
-                        for index in pending
-                    ]
-                    # Checkpoint each shard the moment it completes, so an
-                    # interruption preserves every finished shard.
-                    for future in as_completed(futures):
-                        record(future.result())
+                    queue = list(pending)
+                    future_of: dict = {}
+                    started: dict[int, float] = {}
+                    retry_at: list[tuple[float, int]] = []
+
+                    def submit(index: int) -> None:
+                        attempt = attempts[index] + 1
+                        future = pool.submit(
+                            _execute_shard_forked, index, attempt
+                        )
+                        attempts[index] = attempt
+                        started[index] = time.monotonic()
+                        future_of[future] = index
+
+                    def fail_in_flight(reason: str, kind: str) -> None:
+                        for index in sorted(future_of.values()):
+                            started.pop(index, None)
+                            register_failure(
+                                _ShardFailure(
+                                    index=index,
+                                    attempt=attempts[index],
+                                    error=reason,
+                                    kind=kind,
+                                )
+                            )
+                        future_of.clear()
+
+                    while queue or future_of or retry_at:
+                        now = time.monotonic()
+                        for entry in [e for e in retry_at if e[0] <= now]:
+                            retry_at.remove(entry)
+                            queue.append(entry[1])
+                        # Fill the pool only up to `workers` in-flight
+                        # shards, so a submitted shard is a *running*
+                        # shard and deadlines measure execution, not
+                        # queueing.
+                        while queue and len(future_of) < workers:
+                            index = queue.pop(0)
+                            try:
+                                submit(index)
+                            except BrokenProcessPool:
+                                queue.append(index)
+                                pool_broken = True
+                                break
+                        if pool_broken:
+                            fail_in_flight(
+                                "BrokenProcessPool: worker pool collapsed",
+                                "worker-lost",
+                            )
+                            break
+                        if not future_of:
+                            # Only backed-off retries remain: sleep to
+                            # the earliest due time (bounded by a tick).
+                            next_due = min(e[0] for e in retry_at)
+                            time.sleep(max(0.0, min(_TICK, next_due - now)))
+                            beat(())
+                            continue
+                        done, _ = wait(
+                            list(future_of),
+                            timeout=_TICK,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        for future in done:
+                            index = future_of.pop(future)
+                            started.pop(index, None)
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                # The worker behind this shard died
+                                # (crash, OOM-kill, chaos kill).  Cost:
+                                # one attempt; the shard retries after
+                                # the pool is replaced by in-process
+                                # execution below.
+                                pool_broken = True
+                                register_failure(
+                                    _ShardFailure(
+                                        index=index,
+                                        attempt=attempts[index],
+                                        error=(
+                                            "BrokenProcessPool: shard "
+                                            "worker died unexpectedly"
+                                        ),
+                                        kind="worker-lost",
+                                    )
+                                )
+                                continue
+                            if isinstance(result, ShardRun):
+                                record(result)
+                            else:
+                                delay = register_failure(result)
+                                if delay is not None:
+                                    retry_at.append(
+                                        (time.monotonic() + delay, index)
+                                    )
+                        if pool_broken:
+                            fail_in_flight(
+                                "BrokenProcessPool: worker pool collapsed",
+                                "worker-lost",
+                            )
+                            break
+                        if config.shard_timeout is not None and started:
+                            now = time.monotonic()
+                            hung = sorted(
+                                i
+                                for i, t0 in started.items()
+                                if now - t0 > config.shard_timeout
+                            )
+                            if hung:
+                                # Kill the workers FIRST: pool shutdown
+                                # waits on them, and a hung worker would
+                                # wait forever.  Siblings sharing the
+                                # pool die as collateral and are retried
+                                # in-process alongside the hung shards.
+                                for process in list(
+                                    getattr(pool, "_processes", {}).values()
+                                ):
+                                    process.terminate()
+                                pool_broken = True
+                                for index in sorted(future_of.values()):
+                                    started.pop(index, None)
+                                    if index in hung:
+                                        failure = _ShardFailure(
+                                            index=index,
+                                            attempt=attempts[index],
+                                            error=(
+                                                f"shard {index} exceeded "
+                                                "its "
+                                                f"{config.shard_timeout:.3f}s"
+                                                " deadline (worker killed)"
+                                            ),
+                                            kind="deadline",
+                                        )
+                                    else:
+                                        failure = _ShardFailure(
+                                            index=index,
+                                            attempt=attempts[index],
+                                            error=(
+                                                "worker pool torn down "
+                                                "while a sibling shard hung"
+                                            ),
+                                            kind="worker-lost",
+                                        )
+                                    register_failure(failure)
+                                future_of.clear()
+                                break
+                        beat(sorted(started))
             finally:
                 _fork_context = None
+        if pool_broken:
+            degraded = True
+        leftovers = [
+            index
+            for index in pending
+            if index not in runs and index not in quarantined
+        ]
+        if leftovers:
+            run_serial(leftovers)
     else:
-        for index in pending:
-            record(_execute_shard(context, index))
+        run_serial(pending)
 
+    if plan is not None:
+        # The merge chaos site: dying here means every checkpoint is
+        # already durable, so a resumed run re-executes nothing.
+        plan.fire("merge", "merge", in_process=True)
+
+    completed = [index for index in range(shards) if index in runs]
     outcomes: list[InjectionOutcome] = []
-    for index in range(shards):
+    for index in completed:
         outcomes.extend(runs[index].outcomes)
+
+    failed_manifest = [
+        {
+            "shard": index,
+            "start": bounds[index][0],
+            "stop": bounds[index][1],
+            "attempts": evidence.attempts,
+            "kind": evidence.detail.get("kind"),
+            "error": evidence.error,
+        }
+        for index, evidence in sorted(quarantined.items())
+    ]
 
     # Engine diagnostics from the first shard that has any — freshly
     # executed shards first, then checkpoint-carried ones, so even a
     # fully-resumed campaign reports its backend/engines.
-    ordered = [runs[i] for i in sorted(runs)]
+    ordered = [runs[i] for i in completed]
     engine_diagnostics = next(
         (r.diagnostics for r in ordered if not r.resumed and r.diagnostics),
         None,
@@ -406,6 +862,9 @@ def run_sharded_campaign(
         "resumed_shards": sorted(
             index for index, run in runs.items() if run.resumed
         ),
+        "retries": retry_rows,
+        "quarantined_shards": sorted(quarantined),
+        "degraded_to_in_process": degraded,
         "shard_rows": [
             {
                 "shard": index,
@@ -413,7 +872,20 @@ def run_sharded_campaign(
                 "seconds": round(runs[index].seconds, 6),
                 "resumed": runs[index].resumed,
             }
+            if index in runs
+            else {
+                "shard": index,
+                "n_faults": bounds[index][1] - bounds[index][0],
+                "seconds": 0.0,
+                "resumed": False,
+                "failed": True,
+            }
             for index in range(shards)
         ],
     }
-    return CampaignResult(outcomes=outcomes, diagnostics=diagnostics)
+    return CampaignResult(
+        outcomes=outcomes,
+        diagnostics=diagnostics,
+        partial=bool(quarantined),
+        failed_shards=failed_manifest,
+    )

@@ -32,6 +32,7 @@ __all__ = [
     "Eng004UnknownEngineName",
     "Art005ArtifactKind",
     "Cfg006ConfigTruthiness",
+    "Res007SwallowedException",
     "source_rules",
     "lint_source_text",
     "lint_source_tree",
@@ -847,6 +848,98 @@ class Cfg006ConfigTruthiness(Rule):
 
 
 # ----------------------------------------------------------------------
+# RES007 — broad excepts must record or re-raise, never swallow
+# ----------------------------------------------------------------------
+class Res007SwallowedException(Rule):
+    """Broad ``except`` in core/service that neither records nor raises."""
+
+    id = "RES007"
+    title = "broad except swallows a failure without evidence"
+    rationale = (
+        "The resilience contract is: every failure leaves evidence — a "
+        "FailureRecord artifact, a retry event, or a re-raise the "
+        "caller can see.  A bare `except Exception: pass` (or one that "
+        "only logs a message and drops the exception object) in the "
+        "executor or service layers converts a real fault into silent "
+        "data loss: a shard that never ran, a job stuck forever.  "
+        "Handlers must re-raise, build a FailureRecord, or at minimum "
+        "use the caught exception in a call (error propagation)."
+    )
+
+    #: only the layers whose failures must leave durable evidence;
+    #: experiments, plotting and devtools may legitimately best-effort.
+    _SCOPES = ("repro/core/", "repro/service/")
+
+    #: callables whose invocation counts as "recording the failure".
+    _RECORDERS = frozenset(
+        {"FailureRecord", "from_exception", "from_failure", "record_failure"}
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if not module.path.startswith(self._SCOPES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._handles_responsibly(node):
+                continue
+            caught = ast.unparse(node.type) if node.type else "everything"
+            yield self.finding(
+                f"`except {caught}` neither re-raises, records a "
+                "FailureRecord, nor uses the caught exception — a "
+                "swallowed failure leaves no evidence for retry/"
+                "quarantine logic (narrow the except, or suppress with "
+                "a why-silence-is-correct comment)",
+                module.path,
+                node.lineno,
+            )
+
+    def _is_broad(self, annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return True  # a bare `except:`
+        names = (
+            annotation.elts
+            if isinstance(annotation, ast.Tuple)
+            else [annotation]
+        )
+        return any(
+            isinstance(name, ast.Name)
+            and name.id in ("Exception", "BaseException")
+            for name in names
+        )
+
+    def _handles_responsibly(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            callee = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if callee in self._RECORDERS:
+                return True
+            if handler.name is not None and any(
+                isinstance(leaf, ast.Name) and leaf.id == handler.name
+                for arg in [*node.args, *[k.value for k in node.keywords]]
+                for leaf in ast.walk(arg)
+            ):
+                # The exception object flows onward (into an event, an
+                # error message, a failure row): not swallowed.
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
 # the frontend drivers
 # ----------------------------------------------------------------------
 def source_rules() -> list[Rule]:
@@ -858,6 +951,7 @@ def source_rules() -> list[Rule]:
         Eng004UnknownEngineName(),
         Art005ArtifactKind(),
         Cfg006ConfigTruthiness(),
+        Res007SwallowedException(),
     ]
 
 

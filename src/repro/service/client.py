@@ -12,37 +12,72 @@ scripts and tests alike::
 Failures surface as :class:`ServiceError` — an :class:`OSError`
 subclass carrying the server's one-line JSON error message, so the CLI
 maps it (like every other I/O failure) to a clean ``exit 2``.
+
+Transient failures — 5xx responses, connection resets, a server
+mid-restart — are retried under a deterministic seeded backoff before
+surfacing (``transient`` is set on the final error).  Retrying a
+``POST /jobs`` is safe by construction: submission deduplicates on the
+spec fingerprint, so a resubmission of work the first (lost) response
+already accepted lands on the same job instead of double-executing.
+4xx responses are the caller's bug and are never retried.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 
 from ..api.artifact import Artifact
+from ..core.resilience import RetryPolicy
 
 __all__ = ["ServiceError", "ServiceClient"]
 
 
 class ServiceError(OSError):
-    """The service refused or failed a request (carries HTTP status)."""
+    """The service refused or failed a request (carries HTTP status).
 
-    def __init__(self, message: str, status: int | None = None):
+    ``transient`` marks failures that were worth retrying (5xx,
+    connection reset, unreachable server) — when set, the client already
+    exhausted its retry budget before raising.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        transient: bool = False,
+    ):
         super().__init__(message)
         self.status = status
+        self.transient = transient
 
 
 class ServiceClient:
     """Typed calls over the service's HTTP/JSON routes."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        retry_backoff: float = 0.2,
+        retry_seed: int = 0,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: transient failures get ``1 + retries`` total attempts, backed
+        #: off deterministically (seeded jitter — reproducible traces).
+        self.retry = RetryPolicy(
+            max_attempts=1 + max(0, retries),
+            base_delay=retry_backoff,
+            seed=retry_seed,
+        )
 
     # -- transport ------------------------------------------------------
-    def _request(
+    def _request_once(
         self, method: str, path: str, body: dict | None = None
     ) -> str:
         request = urllib.request.Request(
@@ -64,12 +99,40 @@ class ServiceClient:
             except (ValueError, KeyError, TypeError):
                 message = detail.strip() or error.reason
             raise ServiceError(
-                f"service error ({error.code}): {message}", error.code
+                f"service error ({error.code}): {message}",
+                error.code,
+                # Server-side trouble is worth retrying; 4xx means the
+                # request itself is wrong and will be wrong again.
+                transient=error.code >= 500,
             ) from None
         except urllib.error.URLError as error:
             raise ServiceError(
-                f"cannot reach service at {self.base_url}: {error.reason}"
+                f"cannot reach service at {self.base_url}: {error.reason}",
+                transient=isinstance(
+                    error.reason, (ConnectionError, TimeoutError)
+                ),
             ) from None
+        except (ConnectionError, http.client.RemoteDisconnected) as error:
+            # A reset mid-response bypasses urllib's wrapping.
+            raise ServiceError(
+                f"connection to {self.base_url} lost: {error}",
+                transient=True,
+            ) from None
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> str:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as error:
+                if not error.transient or not self.retry.should_retry(
+                    attempt
+                ):
+                    raise
+                time.sleep(self.retry.delay(path, attempt))
 
     def _json(self, method: str, path: str, body: dict | None = None) -> dict:
         return json.loads(self._request(method, path, body))

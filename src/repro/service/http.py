@@ -18,10 +18,17 @@ Routes (all JSON)::
 
 Error contract: every failure is a JSON body ``{"error": "..."}`` with
 400 for bad requests (unknown circuit, malformed config, bad JSON),
-404 for unknown jobs/artifacts/routes, 405 for wrong methods.  The
+404 for unknown jobs/artifacts/routes, 405 for wrong methods, 408 when
+a request's socket stalls past the server's ``request_timeout``.  The
 artifact route returns the stored JSON byte-for-byte — the round-trip
 equality guarantee ("fetched over HTTP == computed in-process") depends
 on the server never re-encoding stored payloads.
+
+Resilience: each request socket carries a deadline (a stalled or
+half-dead client cannot pin a handler thread forever), and the server
+accepts a :class:`repro.devtools.chaos.ChaosPlan` whose ``http`` site
+fires per-route injected failures (surfacing as 500s) — how the
+client's retry path is exercised deterministically.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ def job_summary(job: Job) -> dict:
         "error": job.error,
         "artifact": job.artifact,
         "served_from_store": job.served_from_store,
+        "attempts": job.attempts,
         "n_events": len(job.events),
     }
 
@@ -92,11 +100,27 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         return document
 
     # -- dispatch -------------------------------------------------------
+    def setup(self) -> None:
+        # A per-request socket deadline: a stalled client (or a torn
+        # network) raises TimeoutError inside the handler instead of
+        # pinning this thread forever.
+        self.timeout = self.server.request_timeout
+        super().setup()
+        if self.server.request_timeout is not None:
+            self.connection.settimeout(self.server.request_timeout)
+
     def _route(self, method: str) -> None:
         url = urlsplit(self.path)
         parts = [p for p in url.path.split("/") if p]
         query = parse_qs(url.query)
         try:
+            chaos = self.server.chaos
+            if chaos is not None:
+                # Chaos 'raise' here surfaces as the generic 500 below —
+                # exactly the transient server error the client retries.
+                chaos.fire(
+                    "http", f"{method} {url.path}", in_process=True
+                )
             handler = self._resolve(method, parts)
             if handler is None:
                 self._send_error(404, f"no route {method} {url.path}")
@@ -108,6 +132,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._send_error(400, str(error))
         except BrokenPipeError:
             pass  # client went away mid-response; nothing to salvage
+        except TimeoutError as error:
+            # The socket deadline fired mid-request: try to tell the
+            # client, then let the connection die.
+            try:
+                self._send_error(408, f"request timed out: {error}")
+            except OSError:
+                pass
+            self.close_connection = True
         except Exception as error:  # noqa: BLE001 — a request must not kill the server
             self._send_error(500, f"{type(error).__name__}: {error}")
 
@@ -233,10 +265,26 @@ class ServiceServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address, scheduler: Scheduler, verbose: bool = False):
+    def __init__(
+        self,
+        address,
+        scheduler: Scheduler,
+        verbose: bool = False,
+        request_timeout: float | None = 30.0,
+        chaos=None,
+    ):
+        if request_timeout is not None and request_timeout <= 0:
+            raise ConfigError(
+                f"request_timeout must be None or > 0, got {request_timeout!r}"
+            )
         super().__init__(address, _ServiceHandler)
         self.scheduler = scheduler
         self.verbose = verbose
+        self.request_timeout = request_timeout
+        #: a ChaosPlan whose ``http`` site injects per-route failures;
+        #: defaults to the scheduler's plan so one $REPRO_CHAOS/flag
+        #: covers the whole service process.
+        self.chaos = chaos if chaos is not None else scheduler.chaos
 
     @property
     def url(self) -> str:
@@ -255,17 +303,30 @@ def make_server(
     workers: int = 2,
     workbench=None,
     verbose: bool = False,
+    request_timeout: float | None = 30.0,
+    retry=None,
+    chaos=None,
 ) -> ServiceServer:
     """Build a ready-to-run service: queue + scheduler + HTTP server.
 
     The scheduler is started (recovered ``queued`` jobs begin executing
     immediately); call ``serve_forever()`` on the result to accept
     requests, ``shutdown()`` to stop both the sockets and the workers.
+    ``retry`` is the scheduler's job :class:`repro.core.resilience.
+    RetryPolicy`; ``chaos`` (a plan or a JSON plan string; ``None`` also
+    honours ``$REPRO_CHAOS``) injects deterministic failures for tests.
     """
     queue = JobQueue(root)
-    scheduler = Scheduler(queue, workbench=workbench, workers=workers)
+    scheduler = Scheduler(
+        queue, workbench=workbench, workers=workers, retry=retry, chaos=chaos
+    )
     scheduler.start()
-    return ServiceServer((host, port), scheduler, verbose=verbose)
+    return ServiceServer(
+        (host, port),
+        scheduler,
+        verbose=verbose,
+        request_timeout=request_timeout,
+    )
 
 
 def serve(
@@ -274,10 +335,18 @@ def serve(
     port: int = 8080,
     workers: int = 2,
     verbose: bool = True,
+    request_timeout: float | None = 30.0,
+    retry=None,
 ) -> int:
     """Blocking entry point behind ``python -m repro serve``."""
     server = make_server(
-        root, host=host, port=port, workers=workers, verbose=verbose
+        root,
+        host=host,
+        port=port,
+        workers=workers,
+        verbose=verbose,
+        request_timeout=request_timeout,
+        retry=retry,
     )
     print(f"repro service listening on {server.url} (store root: {root})")
     try:

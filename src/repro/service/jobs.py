@@ -4,13 +4,29 @@ A **job** is one submission of campaign work — a :class:`JobSpec`
 (circuit name + the typed configs) — tracked through the state machine
 
     queued ──→ running ──→ done | failed
-       │            └─────→ cancelled
+       │          │  ↑└───→ cancelled
+       │          ↓  │
+       │       retrying ──→ cancelled | failed
        └──→ cancelled
 
 and persisted as a ``job`` :class:`repro.api.Artifact` after every
 mutation, so a restarted queue resumes exactly where the dead process
-stopped (``running`` jobs re-queue; their shard checkpoints make the
-re-run cheap).  Illegal transitions raise :class:`JobStateError`.
+stopped (``running``/``retrying`` jobs re-queue; their shard checkpoints
+make the re-run cheap).  Recovery is **capped**: a job that keeps being
+found mid-flight after restarts — a poison job that crashes the
+process — ends ``failed`` with a durable ``failure`` artifact instead of
+looping through recovery forever.  Illegal transitions raise
+:class:`JobStateError`.
+
+Failed executions retry under a deterministic
+:class:`repro.core.resilience.RetryPolicy`: the job moves
+``running → retrying`` (with ``attempt-failed`` / ``retry-scheduled``
+events and a persisted :class:`~repro.core.resilience.FailureRecord`
+per attempt), backs off, and moves back to ``running``.  Exhausted
+budgets end ``failed``.  Partial campaign results (quarantined shards)
+are **never** stored under the spec fingerprint — a partial artifact in
+the content-addressed store would poison dedup for every future
+submitter — so a partial outcome counts as a failed attempt.
 
 Deduplication is fingerprint-first: a spec's :meth:`JobSpec.fingerprint`
 covers only the outcome-relevant identity (the same exclusion contract
@@ -30,6 +46,7 @@ content-addressed store under the spec fingerprint.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -43,6 +60,7 @@ from ..api.config import (
     GeneratorConfig,
 )
 from ..core.atomic_io import read_artifact, write_artifact_atomic
+from ..core.resilience import FailureRecord, RetryPolicy
 from .store import ArtifactStore, fingerprint_of
 
 __all__ = [
@@ -56,15 +74,19 @@ __all__ = [
 ]
 
 #: every state a job can be in, in lifecycle order.
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+JOB_STATES = ("queued", "running", "retrying", "done", "failed", "cancelled")
 
 #: states a job never leaves.
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
-#: state -> states it may legally move to.
+#: state -> states it may legally move to.  ``retrying`` is the backoff
+#: parking state between failed attempts: back to ``running`` when the
+#: delay elapses, ``cancelled`` if the user gets there first, ``failed``
+#: if the queue decides not to continue (e.g. restart recovery cap).
 _LEGAL = {
     "queued": frozenset({"running", "cancelled"}),
-    "running": frozenset({"done", "failed", "cancelled"}),
+    "running": frozenset({"done", "failed", "cancelled", "retrying"}),
+    "retrying": frozenset({"running", "cancelled", "failed"}),
     "done": frozenset(),
     "failed": frozenset(),
     "cancelled": frozenset(),
@@ -92,6 +114,13 @@ class JobStateError(ConfigError):
 
 class _JobCancelled(Exception):
     """Internal: raised between shards to abort a cancelled running job."""
+
+
+class _PartialCampaign(RuntimeError):
+    """Internal: the campaign quarantined shards, so its result must not
+    enter the content-addressed store (a partial artifact under the spec
+    fingerprint would be served to every future submitter as if it were
+    complete).  Treated as a failed, retryable attempt."""
 
 
 # ----------------------------------------------------------------------
@@ -205,6 +234,11 @@ class Job:
     artifact: str | None = None
     #: ``done`` without executing: the store already had the result.
     served_from_store: bool = False
+    #: execution attempts consumed (scheduler retry loop).
+    attempts: int = 0
+    #: times restart recovery re-queued this job after finding it
+    #: mid-flight; capped by the queue's recovery policy (poison jobs).
+    recoveries: int = 0
     events: list[dict] = field(default_factory=list)
     #: volatile cancel flag checked between shards (not persisted: a
     #: restart re-queues running jobs anyway).
@@ -222,6 +256,8 @@ class Job:
             "error": self.error,
             "artifact": self.artifact,
             "served_from_store": self.served_from_store,
+            "attempts": self.attempts,
+            "recoveries": self.recoveries,
             "events": [dict(event) for event in self.events],
         }
 
@@ -243,6 +279,8 @@ class Job:
             error=document.get("error"),
             artifact=document.get("artifact"),
             served_from_store=bool(document.get("served_from_store", False)),
+            attempts=int(document.get("attempts", 0)),
+            recoveries=int(document.get("recoveries", 0)),
             events=[dict(event) for event in document.get("events", [])],
         )
 
@@ -256,13 +294,27 @@ class JobQueue:
     Layout: ``<root>/jobs/<job-id>.json`` (``job`` artifacts, atomic
     writes) next to the :class:`~repro.service.store.ArtifactStore`
     at ``<root>/objects/``.  Construction reloads every persisted job
-    and **recovers**: jobs found ``running`` (their process died) move
-    back to ``queued`` so a scheduler can re-execute them.
+    and **recovers**: jobs found ``running``/``retrying`` (their process
+    died) move back to ``queued`` so a scheduler can re-execute them —
+    up to ``recovery_policy.max_attempts`` times.  A job still
+    mid-flight after that many restarts is a poison job (its execution
+    is what keeps killing the process): it ends ``failed`` with a
+    ``poisoned`` event and a ``failure`` artifact under
+    ``<root>/failures/``, instead of crash-looping the service forever.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(
+        self,
+        root: str | Path,
+        recovery_policy: RetryPolicy | None = None,
+    ):
         self.root = Path(root)
         self.store = ArtifactStore(self.root)
+        self.recovery_policy = (
+            recovery_policy
+            if recovery_policy is not None
+            else RetryPolicy(max_attempts=3)
+        )
         self._jobs_dir = self.root / "jobs"
         self._jobs_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
@@ -284,6 +336,17 @@ class JobQueue:
             Artifact.from_job(job.to_document(), circuit=job.spec.circuit),
         )
 
+    def _write_failure(self, job: Job, record: FailureRecord, tag: str) -> Path:
+        """Persist durable failure evidence under ``<root>/failures/``."""
+        from ..api.artifact import Artifact
+
+        directory = self.root / "failures"
+        directory.mkdir(parents=True, exist_ok=True)
+        return write_artifact_atomic(
+            directory / f"{job.id}-{tag}.json",
+            Artifact.from_failure(record, circuit=job.spec.circuit),
+        )
+
     def _load(self) -> None:
         with self._lock:
             self._load_locked()
@@ -298,12 +361,38 @@ class JobQueue:
             except (ConfigError, KeyError, TypeError):
                 continue
             self._jobs[job.id] = job
-            if job.state == "running":
+            if job.state in ("running", "retrying"):
                 # The process executing it died; its shard checkpoints
-                # (if any) survive, so re-queueing is cheap.
-                job.state = "queued"
-                job.started = None
-                self._append_event(job, "recovered", note="re-queued after restart")
+                # (if any) survive, so re-queueing is cheap.  But only
+                # up to the recovery cap: a job found mid-flight restart
+                # after restart is the thing *causing* the crashes.
+                job.recoveries += 1
+                if self.recovery_policy.should_retry(job.recoveries):
+                    job.state = "queued"
+                    job.started = None
+                    self._append_event(
+                        job, "recovered",
+                        note="re-queued after restart",
+                        recoveries=job.recoveries,
+                    )
+                else:
+                    job.state = "failed"
+                    job.finished = _now()
+                    job.error = (
+                        f"poison job: found mid-flight after "
+                        f"{job.recoveries} restart(s); not re-queueing"
+                    )
+                    evidence = FailureRecord(
+                        phase="recovery",
+                        error=job.error,
+                        attempts=job.recoveries,
+                        key=job.id,
+                        fingerprint=job.fingerprint,
+                    )
+                    self._write_failure(job, evidence, "recovery")
+                    self._append_event(
+                        job, "poisoned", recoveries=job.recoveries
+                    )
                 self._persist(job)
         # Continue the id sequence past everything ever persisted, so a
         # restarted queue never re-issues an id (ids sort by submission).
@@ -410,6 +499,11 @@ class JobQueue:
             now = _now()
             if state == "running":
                 job.started = now
+            if state == "done":
+                # A recovered job succeeded: the stale last-attempt error
+                # must not outlive it (the history stays in the events
+                # and the per-attempt failure artifacts).
+                job.error = None
             if state in TERMINAL_STATES:
                 job.finished = now
             for name, value in fields.items():
@@ -470,11 +564,18 @@ class JobQueue:
         return job, False
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a job: immediate when ``queued``, best-effort (between
-        shards) when ``running``; an error once terminal."""
+        """Cancel a job: immediate when ``queued`` or ``retrying`` (the
+        backoff worker finds the terminal state and stops), best-effort
+        (between shards) when ``running``; an error once terminal."""
         with self._lock:
             job = self._get(job_id)
             if job.state == "queued":
+                return self.transition(job_id, "cancelled")
+            if job.state == "retrying":
+                # The worker is asleep in its backoff; the cancelled
+                # state makes its retrying -> running transition fail,
+                # which is how it learns to stop.
+                job.cancel_requested = True
                 return self.transition(job_id, "cancelled")
             if job.state == "running":
                 job.cancel_requested = True
@@ -498,7 +599,14 @@ class Scheduler:
     same root and share results ("stateless workers + shared store").
     """
 
-    def __init__(self, queue: JobQueue, workbench=None, workers: int = 2):
+    def __init__(
+        self,
+        queue: JobQueue,
+        workbench=None,
+        workers: int = 2,
+        retry: RetryPolicy | None = None,
+        chaos=None,
+    ):
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers!r}")
         from ..api.session import Workbench
@@ -506,6 +614,22 @@ class Scheduler:
         self.queue = queue
         self.workbench = workbench if workbench is not None else Workbench()
         self.workers = workers
+        #: attempt budget + backoff for failed job executions.
+        self.retry = (
+            retry
+            if retry is not None
+            else RetryPolicy(max_attempts=2, base_delay=0.1)
+        )
+        #: dev/test fault injection (a ChaosPlan, a JSON plan string, or
+        #: None — which also honours the $REPRO_CHAOS env hook).
+        if chaos is None and not os.environ.get("REPRO_CHAOS"):
+            self.chaos = None
+        else:
+            from ..devtools.chaos import ChaosPlan, resolve_plan
+
+            self.chaos = (
+                chaos if isinstance(chaos, ChaosPlan) else resolve_plan(chaos)
+            )
         self._session = self.workbench.session()
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
@@ -594,38 +718,79 @@ class Scheduler:
             queue.transition(job_id, "running")
         except ConfigError:
             return
-        spec = job.spec
-        try:
-            store = queue.store
-            cached = store.get(job.fingerprint)
-            if cached is not None:
-                # Another process filled the store since submission.
+        policy = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                store = queue.store
+                cached = store.get(job.fingerprint)
+                if cached is not None:
+                    # Another process filled the store since submission.
+                    with self._lock:
+                        self.store_hits += 1
+                    queue.transition(
+                        job_id, "done",
+                        artifact=job.fingerprint, served_from_store=True,
+                    )
+                    return
                 with self._lock:
-                    self.store_hits += 1
+                    self.executions += 1
+                artifact = self._execute(job, attempt)
+                store.put(job.fingerprint, artifact)
                 queue.transition(
                     job_id, "done",
-                    artifact=job.fingerprint, served_from_store=True,
+                    artifact=job.fingerprint, attempts=attempt,
                 )
                 return
-            with self._lock:
-                self.executions += 1
-            artifact = self._execute(job)
-            store.put(job.fingerprint, artifact)
-            queue.transition(job_id, "done", artifact=job.fingerprint)
-        except _JobCancelled:
-            queue.transition(job_id, "cancelled")
-        except Exception as error:  # noqa: BLE001 — a job must never kill its worker
-            queue.transition(
-                job_id, "failed",
-                error=f"{type(error).__name__}: {error}",
-            )
+            except _JobCancelled:
+                queue.transition(job_id, "cancelled", attempts=attempt)
+                return
+            except Exception as error:  # noqa: BLE001 — a job must never kill its worker
+                evidence = FailureRecord.from_exception(
+                    "job", error,
+                    attempts=attempt,
+                    key=job_id,
+                    fingerprint=job.fingerprint,
+                )
+                queue._write_failure(job, evidence, f"attempt-{attempt:02d}")
+                queue.append_event(
+                    job_id, "attempt-failed",
+                    attempt=attempt, error=evidence.error,
+                )
+                if (
+                    policy.should_retry(attempt)
+                    and not queue.get(job_id).cancel_requested
+                ):
+                    delay = policy.delay(job_id, attempt)
+                    queue.transition(job_id, "retrying", error=evidence.error)
+                    queue.append_event(
+                        job_id, "retry-scheduled",
+                        attempt=attempt + 1, delay=round(delay, 6),
+                    )
+                    time.sleep(delay)
+                    try:
+                        queue.transition(job_id, "running")
+                    except JobStateError:
+                        return  # cancelled during the backoff
+                    continue
+                queue.transition(
+                    job_id, "failed",
+                    error=evidence.error, attempts=attempt,
+                )
+                return
 
-    def _execute(self, job: Job):
+    def _execute(self, job: Job, attempt: int = 1):
         """Generate the program, score it, wrap the campaign artifact."""
         from ..api.artifact import Artifact
         from ..core import run_campaign
+        from ..core.sharding import ShardHeartbeat, ShardRetry
 
         queue, spec = self.queue, job.spec
+        if self.chaos is not None:
+            self.chaos.fire(
+                "job", spec.circuit, attempt=attempt, in_process=True
+            )
         mixed = self._session.circuit(spec.circuit)
         generated = self._session.run(
             mixed,
@@ -641,15 +806,37 @@ class Scheduler:
             seconds=round(generated.total_seconds, 6),
         )
 
-        def on_shard(run) -> None:
+        def on_shard(event) -> None:
             if queue.get(job.id).cancel_requested:
                 raise _JobCancelled()
+            if isinstance(event, ShardHeartbeat):
+                queue.append_event(
+                    job.id, "heartbeat",
+                    running=list(event.running),
+                    completed=event.completed,
+                    shards=event.shards,
+                    elapsed=round(event.elapsed, 6),
+                )
+                return
+            if isinstance(event, ShardRetry):
+                queue.append_event(
+                    job.id, "shard-retry",
+                    shard=event.index,
+                    attempt=event.attempt,
+                    # "kind" names the event envelope; the failure's own
+                    # kind (exception/worker-lost/deadline) rides along as
+                    # "reason".
+                    reason=event.kind,
+                    error=event.error,
+                    next_attempt=event.next_attempt,
+                )
+                return
             queue.append_event(
                 job.id, "shard",
-                shard=run.index,
-                n_faults=len(run.outcomes),
-                seconds=round(run.seconds, 6),
-                resumed=run.resumed,
+                shard=event.index,
+                n_faults=len(event.outcomes),
+                seconds=round(event.seconds, 6),
+                resumed=event.resumed,
             )
 
         if queue.get(job.id).cancel_requested:
@@ -659,6 +846,15 @@ class Scheduler:
             mixed, generated.report, config=spec.campaign, progress=on_shard
         )
         seconds = time.perf_counter() - start
+        if result.partial:
+            queue.append_event(
+                job.id, "partial",
+                quarantined=[row["shard"] for row in result.failed_shards],
+            )
+            raise _PartialCampaign(
+                f"{len(result.failed_shards)} shard(s) quarantined; "
+                "partial results are not storable under the spec fingerprint"
+            )
         queue.append_event(
             job.id, "campaign",
             n_injected=result.n_injected,

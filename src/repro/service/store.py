@@ -17,13 +17,19 @@ Durability follows the shard-checkpoint contract
 ``os.replace``), and a torn, foreign or wrong-kind entry reads back as a
 miss — never an error.  The store is safe to share between the worker
 threads of one scheduler and between processes pointed at the same
-directory.
+directory: ``gc`` only removes entries that already existed when the
+sweep *started* (checked by mtime, re-stat'd immediately before each
+unlink), and ``put`` freshens its entry's mtime, so a ``put`` racing a
+concurrent ``gc`` can never have its freshly-written artifact deleted
+out from under it.
 """
 
 from __future__ import annotations
 
+import os
 import re
 import threading
+import time
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -56,8 +62,23 @@ def _check_fingerprint(fingerprint: str) -> str:
     return fingerprint
 
 
+def _now() -> float:
+    """Wall-clock time of store liveness decisions.
+
+    File mtimes are wall-clock stamps, so the liveness comparisons in
+    :meth:`ArtifactStore.gc` must be too; the value never reaches a
+    result or a fingerprint.  Module-level so tests monkeypatch it.
+    """
+    return time.time()  # repro-lint: disable=DET001 — mtime liveness only
+
+
 class ArtifactStore:
     """A directory of artifacts keyed by content fingerprint."""
+
+    #: a ``*.tmp`` file younger than this many seconds is an in-flight
+    #: atomic write, not a stray: ``gc`` leaves it for the writer's
+    #: imminent ``os.replace`` instead of racing it.
+    TMP_GRACE = 5.0
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
@@ -76,14 +97,23 @@ class ArtifactStore:
 
         A fingerprint names the *work*, and identical work yields
         identical results — so an existing readable entry is kept
-        untouched and re-putting is free.  (A torn entry left by a
-        killed writer is replaced.)
+        untouched (its mtime freshened, marking it live to any
+        concurrent ``gc``) and re-putting is free.  A torn entry left by
+        a killed writer — or an entry a racing ``gc`` in another process
+        unlinked between our read and our touch — is (re)written.
         """
         path = self.path_for(fingerprint)
         with self._lock:
             if read_artifact(path) is None:
                 path.parent.mkdir(parents=True, exist_ok=True)
                 write_artifact_atomic(path, artifact)
+            else:
+                try:
+                    os.utime(path)
+                except FileNotFoundError:
+                    # A cross-process gc removed the entry after we read
+                    # it: re-write, the put must win.
+                    write_artifact_atomic(path, artifact)
         return path
 
     def get(self, fingerprint: str) -> Artifact | None:
@@ -112,16 +142,39 @@ class ArtifactStore:
     def gc(self, keep: Iterable[str]) -> list[str]:
         """Drop every entry whose fingerprint is not in ``keep``.
 
-        Also sweeps stray ``*.tmp`` files left by killed writers.
+        Only entries that predate the sweep are candidates: each path is
+        re-stat'd immediately before its unlink, and anything written
+        (or mtime-freshened by ``put``) at or after the sweep started is
+        skipped.  Without that check, a ``put`` in another process could
+        land between this sweep's directory listing and its unlink and
+        lose a brand-new artifact that was never in the listing the
+        caller's ``keep`` set was computed from.
+
+        Also sweeps stray ``*.tmp`` files left by killed writers —
+        except ones younger than :attr:`TMP_GRACE`, which are in-flight
+        atomic writes about to be renamed over their final path.
         Returns the fingerprints removed, sorted.
         """
         keep = {_check_fingerprint(fp) for fp in keep}
         removed = []
         with self._lock:
+            start = _now()
             for fingerprint in self.fingerprints():
-                if fingerprint not in keep:
-                    self.path_for(fingerprint).unlink(missing_ok=True)
-                    removed.append(fingerprint)
+                if fingerprint in keep:
+                    continue
+                path = self.path_for(fingerprint)
+                try:
+                    if path.stat().st_mtime >= start:
+                        continue  # written during the sweep: keep it
+                    path.unlink()
+                except FileNotFoundError:
+                    continue  # another sweeper got there first
+                removed.append(fingerprint)
             for stray in self._objects.glob("??/*.tmp"):
-                stray.unlink(missing_ok=True)
+                try:
+                    if stray.stat().st_mtime >= start - self.TMP_GRACE:
+                        continue  # an atomic write still in flight
+                    stray.unlink()
+                except FileNotFoundError:
+                    continue
         return sorted(removed)

@@ -12,6 +12,7 @@ from repro.devtools.lint.source_rules import (
     Eng004UnknownEngineName,
     Fpr002FingerprintCompleteness,
     Lck003UnguardedMemoWrite,
+    Res007SwallowedException,
     lint_project,
 )
 
@@ -383,6 +384,102 @@ class TestCfg006:
         report = lint_project(project, [Cfg006ConfigTruthiness()])
         # Only the int field is risky: bools and containers are fine.
         assert _rules_hit(report) == {("CFG006", 1)}
+
+
+# ----------------------------------------------------------------------
+class TestRes007:
+    def test_silent_broad_except_is_flagged(self):
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except Exception:\n"
+            "    pass\n",
+            path="repro/core/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert _rules_hit(report) == {("RES007", 3)}
+
+    def test_bare_except_and_tuple_are_flagged(self):
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except:\n"
+            "    count += 1\n"
+            "try:\n"
+            "    run()\n"
+            "except (Exception, OSError):\n"
+            "    count += 1\n",
+            path="repro/service/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert _rules_hit(report) == {("RES007", 3), ("RES007", 7)}
+
+    def test_reraise_twin_is_clean(self):
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except Exception:\n"
+            "    cleanup()\n"
+            "    raise\n",
+            path="repro/core/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert report.unsuppressed == []
+
+    def test_failure_record_twin_is_clean(self):
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except Exception as error:\n"
+            "    records.append(FailureRecord.from_exception('job', error))\n",
+            path="repro/service/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert report.unsuppressed == []
+
+    def test_using_the_caught_exception_is_clean(self):
+        # Passing the exception anywhere (a log line, a result row)
+        # counts as preserving the evidence.
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except Exception as error:\n"
+            "    log(f'failed: {error}')\n",
+            path="repro/core/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert report.unsuppressed == []
+
+    def test_narrow_except_is_out_of_scope(self):
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except KeyError:\n"
+            "    pass\n",
+            path="repro/core/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert report.unsuppressed == []
+
+    def test_only_core_and_service_are_in_scope(self):
+        snippet = "try:\n    run()\nexcept Exception:\n    pass\n"
+        for path in ("repro/experiments/x.py", "repro/devtools/x.py"):
+            report = lint_source_text(
+                snippet, path=path, rules=[Res007SwallowedException()]
+            )
+            assert report.unsuppressed == []
+
+    def test_suppression_comment(self):
+        report = lint_source_text(
+            "try:\n"
+            "    run()\n"
+            "except Exception:  # repro-lint: disable=RES007\n"
+            "    pass\n",
+            path="repro/core/x.py",
+            rules=[Res007SwallowedException()],
+        )
+        assert report.unsuppressed == []
+        assert len(report.suppressed) == 1
 
 
 # ----------------------------------------------------------------------

@@ -86,7 +86,9 @@ class TestStateMachine:
         [
             ("queued", "done"),          # must pass through running
             ("queued", "failed"),
+            ("queued", "retrying"),      # only a running job can retry
             ("running", "queued"),       # no going back
+            ("retrying", "done"),        # must re-enter running first
             ("done", "running"),         # terminal states are terminal
             ("done", "cancelled"),
             ("failed", "running"),
@@ -101,6 +103,7 @@ class TestStateMachine:
         legal_walk = {
             "queued": (),
             "running": ("running",),
+            "retrying": ("running", "retrying"),
             "done": ("running", "done"),
             "failed": ("running", "failed"),
             "cancelled": ("cancelled",),

@@ -1,6 +1,8 @@
 """The content-addressed artifact store: dedup, atomicity, torn files."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -14,6 +16,14 @@ def _artifact(tag: str) -> Artifact:
 
 def _fp(tag: str) -> str:
     return fingerprint_of({"tag": tag})
+
+
+def _backdate(store: ArtifactStore, seconds: float = 60.0) -> None:
+    """Age every object file so gc sees it as predating the sweep."""
+    past = time.time() - seconds
+    for path in store.root.rglob("*"):
+        if path.is_file():
+            os.utime(path, (past, past))
 
 
 class TestFingerprint:
@@ -80,6 +90,7 @@ class TestStore:
             store.put(fp, _artifact(tag))
         stray = store.path_for(fps[0]).with_suffix(".tmp")
         stray.write_text("killed writer leftovers")
+        _backdate(store)  # everything predates the sweep
         removed = store.gc(keep=[fps[1]])
         assert removed == sorted([fps[0], fps[2]])
         assert store.fingerprints() == [fps[1]]
@@ -89,3 +100,52 @@ class TestStore:
         store = ArtifactStore(tmp_path)
         store.put(_fp("clean"), _artifact("clean"))
         assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestGcPutRace:
+    """gc must never delete what a concurrent put just wrote."""
+
+    def test_entry_written_during_sweep_is_spared(self, tmp_path, monkeypatch):
+        """A put landing after the sweep started survives the sweep.
+
+        Simulated by pinning the sweep's start time into the past: every
+        entry then looks newer than the sweep, exactly as a racing put's
+        would.
+        """
+        import repro.service.store as store_module
+
+        store = ArtifactStore(tmp_path)
+        fp = _fp("fresh")
+        store.put(fp, _artifact("fresh"))
+        monkeypatch.setattr(store_module, "_now", lambda: time.time() - 60.0)
+        removed = store.gc(keep=[])
+        assert removed == []
+        assert store.has(fp)
+
+    def test_put_freshens_mtime_of_existing_entry(self, tmp_path):
+        """Re-putting marks the entry live so a racing gc skips it."""
+        store = ArtifactStore(tmp_path)
+        fp = _fp("touched")
+        store.put(fp, _artifact("touched"))
+        _backdate(store)
+        aged = store.path_for(fp).stat().st_mtime
+        store.put(fp, _artifact("touched"))
+        assert store.path_for(fp).stat().st_mtime > aged
+
+    def test_fresh_tmp_is_left_for_its_writer(self, tmp_path):
+        """A young *.tmp is an in-flight atomic write, not a stray."""
+        store = ArtifactStore(tmp_path)
+        fp = _fp("inflight")
+        store.put(fp, _artifact("inflight"))
+        _backdate(store)
+        tmp = store.path_for(fp).with_suffix(".tmp")
+        tmp.write_text("mid-write")  # fresh: inside TMP_GRACE
+        store.gc(keep=[fp])
+        assert tmp.exists()
+
+    def test_entry_vanishing_mid_sweep_is_tolerated(self, tmp_path, monkeypatch):
+        """Another sweeper unlinking first is a skip, not an error."""
+        store = ArtifactStore(tmp_path)
+        ghost = _fp("ghost")
+        monkeypatch.setattr(store, "fingerprints", lambda: [ghost])
+        assert store.gc(keep=[]) == []
