@@ -240,6 +240,7 @@ class CampaignEngine:
         factor_cache_size: int | None = None,
         digital_engine: str = "compiled",
         batch: bool = True,
+        cache_dir: str | None = None,
     ) -> list[InjectionOutcome]:
         raise NotImplementedError
 
@@ -264,9 +265,10 @@ class ReferenceEngine(CampaignEngine):
         factor_cache_size: int | None = None,
         digital_engine: str = "compiled",
         batch: bool = True,
+        cache_dir: str | None = None,
     ) -> list[InjectionOutcome]:
-        # The oracle deliberately ignores the backend, digital-engine
-        # and batch selectors: its whole point is the unoptimized
+        # The oracle deliberately ignores the backend, digital-engine,
+        # batch and cache selectors: its whole point is the unoptimized
         # re-solve and re-interpret path the fast engine is checked
         # against.
         self.last_diagnostics = {
@@ -365,6 +367,7 @@ class FactorizedEngine(CampaignEngine):
         factor_cache_size: int | None = None,
         digital_engine: str = "compiled",
         batch: bool = True,
+        cache_dir: str | None = None,
     ) -> list[InjectionOutcome]:
         if not faults:
             # Emit the full diagnostics shape even with nothing to do:
@@ -410,6 +413,13 @@ class FactorizedEngine(CampaignEngine):
                 backend=backend,
                 factor_cache_size=factor_cache_size,
             )
+            if cache_dir is not None:
+                # On-disk L2 under the per-solver LRU: dense LUs cached
+                # by any earlier run (or a sibling shard process) of the
+                # identical system are reloaded instead of refactored.
+                from ..core.cache import ResultCache
+
+                solver.attach_l2(ResultCache(cache_dir))
             # One LU per distinct stimulus frequency, shared by every
             # fault; built serially before any fan-out.
             factorized = {}

@@ -52,6 +52,10 @@ ARTIFACT_KINDS = (
     # what a quarantined shard or a poisoned job leaves behind for
     # auditors — phase, final error, attempts consumed, fingerprint.
     "failure",
+    # A generic result-cache entry (repro.core.cache.ResultCache):
+    # namespaced derived data — e.g. the audit pack's replayed engine
+    # outcomes — whose payload schema is owned by the producer.
+    "cache-entry",
 )
 
 
@@ -390,6 +394,26 @@ class Artifact:
             kind="job",
             circuit=circuit,
             payload=dict(document),
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_cache_entry(
+        cls,
+        namespace: str,
+        document: dict,
+        circuit: str | None = None,
+        meta: dict | None = None,
+    ) -> "Artifact":
+        """Wrap a generic result-cache document
+        (:class:`repro.core.cache.ResultCache` entries whose schema is
+        owned by the producer, e.g. the audit pack's replayed engine
+        outcomes).  The producing namespace rides in the payload so a
+        loose entry file is self-describing."""
+        return cls(
+            kind="cache-entry",
+            circuit=circuit,
+            payload={"namespace": namespace, "document": dict(document)},
             meta=dict(meta or {}),
         )
 

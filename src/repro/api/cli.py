@@ -12,6 +12,8 @@ Subcommands::
     submit       submit a campaign job to a running service
     status       show a job (or all jobs) on a running service
     fetch        download a stored artifact by fingerprint
+    audit        replay a recorded campaign and cross-check engine pairs
+    cache        inspect a result cache: stats / gc / verify
 
 Every result-producing subcommand accepts ``--json PATH`` to persist
 the result as a versioned :class:`repro.api.Artifact` document.  The
@@ -25,7 +27,9 @@ one-line ``error:`` message — never a traceback; ``Ctrl-C`` exits
 (a *partial* result — see :mod:`repro.core.resilience`) exits ``3``:
 the artifact is written (when requested) and the finished shards'
 outcomes are trustworthy, but coverage over the failed shards' faults
-is missing.
+is missing.  ``audit`` exits ``1`` when any engine pair disagrees (the
+evidence bundle is still written), and ``cache verify`` exits ``1``
+when any stored entry no longer reads back.
 """
 
 from __future__ import annotations
@@ -126,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume-from", metavar="DIR", default=None,
         help="shard checkpoint directory: completed shards persist "
         "here and a re-run resumes from them instead of restarting",
+    )
+    p_camp.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed result cache: shard outcomes are keyed "
+        "by their fingerprint, so re-runs (even of edited campaigns) "
+        "recompute only invalidated shards; also backs the on-disk "
+        "LU-factor cache",
     )
     p_camp.add_argument(
         "--shard-attempts", type=int, default=None, metavar="N",
@@ -289,6 +300,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", default=None,
         help="write the artifact here instead of stdout",
     )
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="replay a recorded campaign and cross-check every engine pair",
+    )
+    p_audit.add_argument(
+        "target",
+        help="report-artifact JSON path, a run directory holding one, "
+        "or a 64-hex store fingerprint (with --store)",
+    )
+    p_audit.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="service artifact-store root (required for fingerprint "
+        "targets)",
+    )
+    p_audit.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write the hash-manifested evidence bundle here",
+    )
+    p_audit.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result cache: replays of unchanged campaigns are served "
+        "from (and published to) the 'audit' namespace",
+    )
+    p_audit.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the audit summary document here",
+    )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect a result cache: stats / gc / verify"
+    )
+    p_cache.add_argument(
+        "action", choices=("stats", "gc", "verify"),
+        help="stats: occupancy per namespace; gc: evict oldest entries "
+        "down to --keep-gb; verify: re-read and re-hash every entry",
+    )
+    p_cache.add_argument("dir", help="cache root directory")
+    p_cache.add_argument(
+        "--keep-gb", type=float, default=None, metavar="G",
+        help="gc: size bound in GiB the cache is trimmed down to",
+    )
+    p_cache.add_argument(
+        "--namespace", metavar="NS", default=None,
+        help="restrict gc/verify to one namespace",
+    )
     return parser
 
 
@@ -402,6 +459,7 @@ def _cmd_campaign(wb: Workbench, args: argparse.Namespace) -> int:
         shards=args.shards,
         shard_workers=args.shard_workers,
         checkpoint_dir=args.resume_from,
+        cache_dir=args.cache_dir,
         shard_attempts=args.shard_attempts,
         shard_timeout=args.shard_timeout,
         quarantine=args.quarantine,
@@ -699,6 +757,64 @@ def _cmd_fetch(wb: Workbench, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(wb: Workbench, args: argparse.Namespace) -> int:
+    from .audit import resolve_target, run_audit
+
+    cache = None
+    if args.cache_dir is not None:
+        from ..core.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    artifact = resolve_target(args.target, store=args.store)
+    audit = run_audit(
+        artifact, out_dir=args.out, cache=cache, registry=wb.registry
+    )
+    print(audit.render_text())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps(audit.to_document(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"audit summary written: {args.json}")
+    # 1 (not 2) on disagreement: the audit itself worked; what it
+    # found is an engine-parity failure, which scripts must be able to
+    # tell apart from usage errors.
+    return 0 if audit.ok else 1
+
+
+def _cmd_cache(wb: Workbench, args: argparse.Namespace) -> int:
+    import json
+
+    from ..core.cache import ResultCache
+
+    cache = ResultCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if args.action == "gc":
+        if args.keep_gb is None:
+            raise ConfigError("cache gc needs --keep-gb")
+        evicted = cache.gc(
+            max_bytes=int(args.keep_gb * 2**30), namespace=args.namespace
+        )
+        for space, fingerprint in evicted:
+            print(f"evicted {space}/{fingerprint}")
+        print(f"gc: {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'} "
+              "evicted")
+        return 0
+    report = cache.verify(namespace=args.namespace)
+    for row in report["corrupt"]:
+        print(
+            f"corrupt {row['namespace']}/{row['fingerprint']}: {row['path']}",
+            file=sys.stderr,
+        )
+    print(f"verify: {report['ok']}/{report['checked']} entries ok")
+    return 0 if not report["corrupt"] else 1
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "generate": _cmd_generate,
@@ -710,6 +826,8 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
+    "audit": _cmd_audit,
+    "cache": _cmd_cache,
 }
 
 

@@ -181,6 +181,17 @@ class CampaignConfig(_Replaceable):
             versioned ``campaign-shard`` artifact in this directory and
             a re-run resumes from every checkpoint whose fingerprint
             still matches, instead of re-executing it.
+        cache_dir: root of a content-addressed
+            :class:`repro.core.cache.ResultCache`.  When set, each
+            completed shard is published under its content fingerprint
+            (:func:`repro.core.sharding.shard_fingerprint`) and any
+            shard whose fingerprint is already cached — from this
+            campaign, an earlier run, or a different sharding of the
+            same work — is served from the cache instead of being
+            re-executed.  Unlike ``checkpoint_dir`` (one flat file per
+            shard index of one campaign) the cache dedups across
+            campaigns, so editing one element re-runs only the shards
+            whose fault slices actually changed.
         shard_attempts: total execution attempts each shard gets (first
             try included) before it is quarantined; ``1`` disables
             retries.  Retry backoff is deterministic (seeded from
@@ -223,6 +234,7 @@ class CampaignConfig(_Replaceable):
     shards: int = 1
     shard_workers: int | None = None
     checkpoint_dir: str | None = None
+    cache_dir: str | None = None
     shard_attempts: int = 2
     shard_timeout: float | None = None
     retry_backoff: float = 0.05
@@ -278,6 +290,10 @@ class CampaignConfig(_Replaceable):
         _require(
             self.shard_workers is None or self.shard_workers >= 1,
             f"shard_workers must be None or >= 1, got {self.shard_workers!r}",
+        )
+        _require(
+            self.cache_dir is None or isinstance(self.cache_dir, str),
+            f"cache_dir must be None or a path string, got {self.cache_dir!r}",
         )
         _require(
             self.shard_attempts >= 1,

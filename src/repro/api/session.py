@@ -159,24 +159,16 @@ class TestSession:
         return spec.build()
 
     # -- BDD pool: exclusive checkout / check-in ------------------------
-    @staticmethod
-    def _bdd_key(mixed: MixedSignalCircuit, ordering: str):
-        # Name alone could collide across structurally different blocks
-        # that happen to share a name; fingerprint the interface/size too.
-        stats = mixed.digital.stats()
-        return (
-            mixed.digital.name,
-            ordering,
-            stats["inputs"],
-            stats["outputs"],
-            stats["gates"],
-        )
-
     def _checkout_bdd(self, mixed: MixedSignalCircuit, ordering: str) -> None:
+        # Keyed by the netlist *content digest* — the interface/size
+        # tuple this pool used before could collide across structurally
+        # different blocks sharing a name; a digest cannot, and it also
+        # pools across distinct instances of the same netlist.
+        digest = mixed.digital.fingerprint()
         # The generator stages compile with the default heuristic while
         # the ATPG stage may use another; check out both slots.
         for slot in dict.fromkeys(("fanin", ordering)):
-            key = self._bdd_key(mixed, slot)
+            key = (digest, slot)
             with self._lock:
                 cached = self._bdd_pool.pop(key, None)
                 if cached is None:
@@ -190,11 +182,14 @@ class TestSession:
         # Pool every ordering the run ended up compiling (or borrowing).
         # Ownership transfers: the entries are *removed* from the circuit
         # so a caller-held instance can never share a (non-thread-safe)
-        # BddManager with a future checkout from another thread.
+        # BddManager with a future checkout from another thread.  Each
+        # entry is filed under the digest captured when *it* compiled —
+        # if the run mutated the netlist afterwards, the stale BDD is
+        # pooled under the old digest, never served for the new one.
         with self._lock:
             while mixed._cbdd:
                 ordering, cbdd = mixed._cbdd.popitem()
-                self._bdd_pool[self._bdd_key(mixed, ordering)] = cbdd
+                self._bdd_pool[(cbdd.fingerprint, ordering)] = cbdd
 
     # ------------------------------------------------------------------
     def run(

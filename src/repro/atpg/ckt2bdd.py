@@ -79,6 +79,11 @@ class CircuitBdd:
             raise ValueError(f"ordering must be one of {_ORDERINGS}")
         circuit.validate()
         self.circuit = circuit
+        #: content digest of the netlist *as compiled* — the key BDD
+        #: pools file this object under.  Captured now, not at check-in
+        #: time: if the circuit mutates later, the pool sees the digest
+        #: of what the BDDs actually describe.
+        self.fingerprint = circuit.fingerprint()
         if ordering == "fanin":
             order = fanin_order(
                 circuit.outputs, circuit.fanin_view(), circuit.inputs

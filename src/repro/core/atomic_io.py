@@ -21,7 +21,12 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-__all__ = ["write_text_atomic", "write_artifact_atomic", "read_artifact"]
+__all__ = [
+    "write_text_atomic",
+    "write_bytes_atomic",
+    "write_artifact_atomic",
+    "read_artifact",
+]
 
 
 def write_text_atomic(path: str | Path, text: str) -> Path:
@@ -36,6 +41,20 @@ def write_text_atomic(path: str | Path, text: str) -> Path:
     path = Path(path)
     temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     temporary.write_text(text)
+    temporary.replace(path)  # atomic: a killed run never leaves a torn file
+    return path
+
+
+def write_bytes_atomic(path: str | Path, payload: bytes) -> Path:
+    """Write raw bytes to ``path`` atomically (temp file + rename).
+
+    The binary sibling of :func:`write_text_atomic`, with the same
+    same-directory pid-tagged temp file; used by the result cache for
+    blob entries (serialized factorizations and other non-JSON payloads).
+    """
+    path = Path(path)
+    temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    temporary.write_bytes(payload)
     temporary.replace(path)  # atomic: a killed run never leaves a torn file
     return path
 

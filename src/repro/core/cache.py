@@ -1,0 +1,519 @@
+"""Fingerprint-keyed result caching: one incremental-computation layer.
+
+Campaigns are pure functions of ``(circuit, population, program,
+config)`` — the repo proved that five separate times with five separate
+memoizers (the compiled-BDD pool, per-solver LU caches, compiled-circuit
+tables, shard checkpoints, the service artifact store).  This module is
+the shared substrate those layers now sit on:
+
+* :class:`L1Cache` — a thread-safe, LRU-bounded in-memory mapping with
+  hit/miss counters.  The semantics are exactly those the
+  :class:`repro.spice.MnaSolver` factorization cache pioneered (pop →
+  count → re-insert as most recent → evict oldest while over bound), so
+  swapping the hand-rolled dicts for it changes no eviction order and no
+  counter value.
+
+* :class:`ResultCache` — a content-addressed on-disk cache:
+  ``namespace + fingerprint → Artifact or binary blob``, laid out as
+  ``<root>/<namespace>/<fp[:2]>/<fp>.json|.bin``.  Writes are atomic and
+  first-write-wins (a fingerprint names the *work*, and identical work
+  yields identical results), reads never trust the disk (torn, foreign
+  or corrupt entries are a miss, never an error), and ``gc`` honours the
+  same put-vs-sweep race rules the service store hardened in PR 9.  The
+  ``objects`` namespace of a service store root *is* a ResultCache
+  namespace: :class:`repro.service.store.ArtifactStore` is a thin
+  wrapper over this class with an unchanged on-disk layout.
+
+Namespaces in use (see ``docs/caching.md`` for the full map):
+``objects`` (service artifact store), ``campaign-shard`` (shard results,
+keyed by :func:`repro.core.sharding.shard_fingerprint`), ``lu-factor``
+(serialized dense LU factorizations — the on-disk L2 under the
+:class:`~repro.spice.MnaSolver` L1), and ``audit`` (replayed engine
+outcomes of the parity pack).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .atomic_io import (
+    read_artifact,
+    write_bytes_atomic,
+    write_text_atomic,
+)
+from .fingerprint import sha256_bytes
+
+__all__ = ["L1Cache", "ResultCache", "check_fingerprint"]
+
+#: a cache key is a full sha256 hex digest — nothing else.  Validating
+#: the shape up front keeps lookups free of path games.
+_FINGERPRINT = re.compile(r"^[0-9a-f]{64}$")
+
+#: namespaces are short lowercase slugs; the same validation guards
+#: directory traversal through the namespace component.
+_NAMESPACE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+#: the two entry flavours a namespace can hold; everything else under a
+#: shard directory (e.g. ``*.tmp``) is an in-flight or stray write.
+_SUFFIXES = (".json", ".bin")
+
+
+def _config_error(message: str) -> Exception:
+    # Imported lazily: repro.api imports repro.core, so a module-level
+    # import here would be a cycle.
+    from ..api.config import ConfigError
+
+    return ConfigError(message)
+
+
+def check_fingerprint(fingerprint: str) -> str:
+    """Validate a cache key; raises ``ConfigError`` on anything that is
+    not a 64-char sha256 hex digest."""
+    if not isinstance(fingerprint, str) or not _FINGERPRINT.match(fingerprint):
+        raise _config_error(
+            "fingerprint must be a 64-char sha256 hex digest, got "
+            f"{fingerprint!r}"
+        )
+    return fingerprint
+
+
+def _check_namespace(namespace: str) -> str:
+    if not isinstance(namespace, str) or not _NAMESPACE.match(namespace):
+        raise _config_error(
+            "cache namespace must be a lowercase slug ([a-z][a-z0-9-]*), "
+            f"got {namespace!r}"
+        )
+    return namespace
+
+
+def _now() -> float:
+    """Wall-clock time of cache liveness decisions.
+
+    File mtimes are wall-clock stamps, so the liveness comparisons in
+    :meth:`ResultCache.gc` must be too; the value never reaches a result
+    or a fingerprint.  Module-level so tests monkeypatch it.
+    """
+    return time.time()  # repro-lint: disable=DET001 — mtime liveness only
+
+
+class L1Cache:
+    """Thread-safe LRU mapping with hit/miss counters.
+
+    ``max_size=None`` makes it an unbounded memo (first-write-wins via
+    :meth:`setdefault` — the engine-memo contract).  With a bound, the
+    semantics replicate the historical :class:`repro.spice.MnaSolver`
+    factorization cache exactly: a hit re-inserts the entry as most
+    recent, a put evicts the least recently used entries while over the
+    bound — so the refactor onto this class preserves eviction order
+    and counter values bit for bit.
+    """
+
+    def __init__(self, max_size: int | None = None):
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be >= 1 or None, got {max_size!r}")
+        self.max_size = max_size
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key, default=None):
+        """The cached value (refreshed as most recent), or ``default``."""
+        with self._lock:
+            try:
+                value = self._entries.pop(key)
+            except KeyError:
+                self._misses += 1
+                return default
+            self._entries[key] = value  # re-insert = most recently used
+            self._hits += 1
+            return value
+
+    def _evict_locked(self) -> None:
+        if self.max_size is not None:
+            while len(self._entries) > self.max_size:
+                self._entries.pop(next(iter(self._entries)))
+
+    def put(self, key, value):
+        """Insert ``value`` as most recent, evicting over the bound."""
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = value
+            self._evict_locked()
+        return value
+
+    def setdefault(self, key, value):
+        """First write wins: the stored value, inserting ``value`` if
+        absent — the deterministic-memo contract engine threads rely on
+        (whoever computes first defines the entry; everyone else adopts
+        it)."""
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key]
+            self._entries[key] = value
+            self._evict_locked()
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        # Membership probes do not count as lookups or refresh recency.
+        return key in self._entries
+
+    def stats(self) -> dict:
+        """``hits``/``misses`` lookup counters plus occupancy."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._entries),
+            "max_size": self.max_size,
+        }
+
+
+class ResultCache:
+    """A content-addressed, namespaced on-disk cache of results.
+
+    Entries are either versioned :class:`repro.api.Artifact` JSON
+    documents (``.json``) or integrity-checked binary blobs (``.bin``:
+    a 64-hex sha256 header line followed by the payload, so torn or
+    bit-rotted blobs read back as a miss and :meth:`verify` can prove
+    every entry intact).  All writes go through
+    :mod:`repro.core.atomic_io`; first write wins.
+    """
+
+    #: a ``*.tmp`` file younger than this many seconds is an in-flight
+    #: atomic write, not a stray: ``gc`` leaves it for the writer's
+    #: imminent ``os.replace`` instead of racing it.
+    TMP_GRACE = 5.0
+
+    def __init__(self, root: str | Path, now=None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        #: injectable clock for gc liveness decisions (tests, and the
+        #: service store's own monkeypatchable ``_now`` indirection).
+        self._clock = now if now is not None else _now
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._bytes_written = 0
+        self._bytes_read = 0
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    def path_for(
+        self, namespace: str, fingerprint: str, suffix: str = ".json"
+    ) -> Path:
+        """Where the entry lives (whether or not it exists yet)."""
+        namespace = _check_namespace(namespace)
+        fingerprint = check_fingerprint(fingerprint)
+        return self.root / namespace / fingerprint[:2] / f"{fingerprint}{suffix}"
+
+    def namespaces(self) -> list[str]:
+        """Every namespace directory present, sorted."""
+        try:
+            children = list(self.root.iterdir())
+        except FileNotFoundError:
+            return []
+        return sorted(
+            child.name
+            for child in children
+            if child.is_dir() and _NAMESPACE.match(child.name)
+        )
+
+    def fingerprints(self, namespace: str) -> list[str]:
+        """Every fingerprint with an entry file in ``namespace``, sorted."""
+        namespace = _check_namespace(namespace)
+        return sorted(
+            {
+                path.stem
+                for path in (self.root / namespace).glob("??/*")
+                if path.suffix in _SUFFIXES and _FINGERPRINT.match(path.stem)
+            }
+        )
+
+    def _iter_entries(
+        self, namespace: str | None = None
+    ) -> Iterator[tuple[str, Path]]:
+        """Yield ``(namespace, path)`` per entry file, in sorted order."""
+        spaces = [namespace] if namespace is not None else self.namespaces()
+        for space in spaces:
+            for path in sorted((self.root / space).glob("??/*")):
+                if path.suffix in _SUFFIXES and _FINGERPRINT.match(path.stem):
+                    yield space, path
+
+    # ------------------------------------------------------------------
+    # artifact entries
+    # ------------------------------------------------------------------
+    def put_artifact(self, namespace: str, fingerprint: str, artifact) -> Path:
+        """Store an artifact under ``namespace/fingerprint``; first write
+        wins.
+
+        A fingerprint names the *work*, and identical work yields
+        identical results — so an existing readable entry is kept
+        untouched (its mtime freshened, marking it live to any
+        concurrent ``gc``) and re-putting is free.  A torn entry left by
+        a killed writer — or an entry a racing ``gc`` in another process
+        unlinked between our read and our touch — is (re)written.
+        """
+        path = self.path_for(namespace, fingerprint)
+        text = artifact.to_json() + "\n"
+        with self._lock:
+            if read_artifact(path) is None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                write_text_atomic(path, text)
+                self._puts += 1
+                self._bytes_written += len(text)
+            else:
+                try:
+                    os.utime(path)
+                except FileNotFoundError:
+                    # A cross-process gc removed the entry after we read
+                    # it: re-write, the put must win.
+                    write_text_atomic(path, text)
+                    self._puts += 1
+                    self._bytes_written += len(text)
+        return path
+
+    def get_artifact(
+        self, namespace: str, fingerprint: str, kind: str | None = None
+    ):
+        """The stored artifact, or ``None`` on a miss (incl. torn or
+        wrong-``kind`` entries)."""
+        artifact = read_artifact(self.path_for(namespace, fingerprint), kind)
+        with self._lock:
+            if artifact is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return artifact
+
+    def has_artifact(self, namespace: str, fingerprint: str) -> bool:
+        """Whether a *readable* artifact is stored under the key.
+
+        Does not touch the hit/miss counters — membership probes are
+        not lookups.
+        """
+        return read_artifact(self.path_for(namespace, fingerprint)) is not None
+
+    # ------------------------------------------------------------------
+    # blob entries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_blob(blob: bytes) -> bytes | None:
+        head, sep, payload = blob.partition(b"\n")
+        if not sep or len(head) != 64:
+            return None
+        try:
+            digest = head.decode("ascii")
+        except UnicodeDecodeError:
+            return None
+        if sha256_bytes(payload) != digest:
+            return None  # torn or bit-rotted: a miss, not an error
+        return payload
+
+    def _read_blob(self, path: Path) -> bytes | None:
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        return self._decode_blob(blob)
+
+    def put_bytes(self, namespace: str, fingerprint: str, payload: bytes) -> Path:
+        """Store a binary blob; first write wins (same rules as
+        :meth:`put_artifact`).  The payload is stored behind a sha256
+        header so reads and :meth:`verify` can prove it intact."""
+        path = self.path_for(namespace, fingerprint, suffix=".bin")
+        blob = sha256_bytes(payload).encode("ascii") + b"\n" + payload
+        with self._lock:
+            if self._read_blob(path) is None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                write_bytes_atomic(path, blob)
+                self._puts += 1
+                self._bytes_written += len(blob)
+            else:
+                try:
+                    os.utime(path)
+                except FileNotFoundError:
+                    write_bytes_atomic(path, blob)
+                    self._puts += 1
+                    self._bytes_written += len(blob)
+        return path
+
+    def get_bytes(self, namespace: str, fingerprint: str) -> bytes | None:
+        """The stored blob payload, integrity-checked, or ``None``."""
+        payload = self._read_blob(
+            self.path_for(namespace, fingerprint, suffix=".bin")
+        )
+        with self._lock:
+            if payload is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+                self._bytes_read += len(payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        keep: Iterable[str] | None = None,
+        max_bytes: int | None = None,
+        namespace: str | None = None,
+        entries: Iterable[str] | None = None,
+    ) -> list[tuple[str, str]]:
+        """Sweep the cache; returns ``(namespace, fingerprint)`` removed.
+
+        Two independent policies compose:
+
+        * ``keep`` — drop every entry of ``namespace`` (required with
+          ``keep``) whose fingerprint is not in the set.  ``entries``
+          optionally overrides the candidate listing (the service store
+          passes its own ``fingerprints()`` so tests can interpose).
+        * ``max_bytes`` — evict oldest-mtime entries (LRU by the mtimes
+          ``put`` freshens) until the total entry size fits the bound.
+
+        Only entries that predate the sweep are candidates: each path is
+        re-stat'd immediately before its unlink, and anything written
+        (or mtime-freshened by ``put``) at or after the sweep started is
+        skipped — so a ``put`` racing a concurrent ``gc`` can never lose
+        its freshly-written entry.  Stray ``*.tmp`` files older than
+        :attr:`TMP_GRACE` are always swept.
+        """
+        removed: list[tuple[str, str]] = []
+        with self._lock:
+            start = self._clock()
+            if keep is not None:
+                if namespace is None:
+                    raise _config_error(
+                        "keep-based cache gc requires a namespace"
+                    )
+                keep_set = {check_fingerprint(fp) for fp in keep}
+                names = (
+                    list(entries)
+                    if entries is not None
+                    else self.fingerprints(namespace)
+                )
+                for fingerprint in names:
+                    if fingerprint in keep_set:
+                        continue
+                    dropped = False
+                    for suffix in _SUFFIXES:
+                        path = self.path_for(namespace, fingerprint, suffix)
+                        try:
+                            if path.stat().st_mtime >= start:
+                                continue  # written during the sweep: keep
+                            path.unlink()
+                        except FileNotFoundError:
+                            continue  # another sweeper got there first
+                        dropped = True
+                    if dropped:
+                        removed.append((namespace, fingerprint))
+            if max_bytes is not None:
+                if max_bytes < 0:
+                    raise _config_error(
+                        f"max_bytes must be >= 0, got {max_bytes!r}"
+                    )
+                listing = []
+                total = 0
+                for space, path in self._iter_entries(namespace):
+                    try:
+                        stat = path.stat()
+                    except FileNotFoundError:
+                        continue
+                    listing.append(
+                        (stat.st_mtime, space, path, stat.st_size)
+                    )
+                    total += stat.st_size
+                listing.sort(key=lambda item: (item[0], str(item[2])))
+                for mtime, space, path, size in listing:
+                    if total <= max_bytes:
+                        break
+                    if mtime >= start:
+                        continue  # freshened during the sweep: keep it
+                    try:
+                        path.unlink()
+                    except FileNotFoundError:
+                        continue
+                    total -= size
+                    removed.append((space, path.stem))
+            pattern = (
+                f"{namespace}/??/*.tmp" if namespace is not None else "*/??/*.tmp"
+            )
+            for stray in self.root.glob(pattern):
+                try:
+                    if stray.stat().st_mtime >= start - self.TMP_GRACE:
+                        continue  # an atomic write still in flight
+                    stray.unlink()
+                except FileNotFoundError:
+                    continue
+        return sorted(removed)
+
+    def verify(self, namespace: str | None = None) -> dict:
+        """Re-read (and for blobs, re-hash) every entry.
+
+        Returns ``{"checked", "ok", "corrupt": [...]}`` where each
+        corrupt row names the namespace, fingerprint and path of an
+        entry that no longer reads back — torn writes the atomic
+        protocol should make impossible, or genuine disk corruption.
+        """
+        checked = ok = 0
+        corrupt: list[dict] = []
+        for space, path in self._iter_entries(namespace):
+            checked += 1
+            if path.suffix == ".bin":
+                good = self._read_blob(path) is not None
+            else:
+                good = read_artifact(path) is not None
+            if good:
+                ok += 1
+            else:
+                corrupt.append(
+                    {
+                        "namespace": space,
+                        "fingerprint": path.stem,
+                        "path": str(path),
+                    }
+                )
+        return {"checked": checked, "ok": ok, "corrupt": corrupt}
+
+    def stats(self) -> dict:
+        """Lookup counters plus a per-namespace occupancy map."""
+        spaces = {}
+        total_entries = 0
+        total_bytes = 0
+        for space, path in self._iter_entries():
+            try:
+                size = path.stat().st_size
+            except FileNotFoundError:
+                continue
+            row = spaces.setdefault(space, {"entries": 0, "bytes": 0})
+            row["entries"] += 1
+            row["bytes"] += size
+            total_entries += 1
+            total_bytes += size
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "hits": self._hits,
+                "misses": self._misses,
+                "puts": self._puts,
+                "bytes_written": self._bytes_written,
+                "bytes_read": self._bytes_read,
+                "entries": total_entries,
+                "bytes": total_bytes,
+                "namespaces": spaces,
+            }

@@ -95,6 +95,10 @@ def run_campaign(
     if (
         config.shards > 1
         or config.checkpoint_dir is not None
+        # The result cache publishes and resumes per-shard artifacts,
+        # so a cached campaign always runs through the sharded driver
+        # (a single shard is fine — it still dedups across re-runs).
+        or config.cache_dir is not None
         # Chaos rides the sharded executor: that is where the retry,
         # quarantine and degradation machinery it exercises lives.
         or config.chaos is not None

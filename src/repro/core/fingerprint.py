@@ -1,0 +1,87 @@
+"""The one canonical digest behind every fingerprint in the repository.
+
+Three layers grew their own copy of the same idea — checkpoint
+fingerprints (:func:`repro.core.sharding.campaign_fingerprint`), service
+dedup keys (:meth:`repro.service.jobs.JobSpec.fingerprint`) and the
+content-addressed store (:func:`repro.service.store.fingerprint_of`).
+All three canonicalized a JSON document and hashed it, and all three had
+to keep doing it *byte-identically* or checkpoints, dedup and stored
+artifacts would silently stop matching across layers.  This module is
+the single implementation they now share; the CCH008 lint rule keeps
+new digest call sites from growing elsewhere.
+
+Canonical form
+--------------
+``json.dumps(document, sort_keys=True)`` encoded as UTF-8, digested
+with sha256.  Key order is canonical, floats round-trip through
+``repr`` (exact for every finite double), and the separators are the
+``json`` module defaults — matching the historical implementations
+bit for bit, so every fingerprint ever written remains valid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = [
+    "canonical_json",
+    "fingerprint_of",
+    "sha256_bytes",
+    "sha256_text",
+    "netlist_fingerprint",
+]
+
+
+def canonical_json(document) -> str:
+    """The canonical JSON serialization every fingerprint hashes.
+
+    Deterministic across processes, threads and machines: key order is
+    sorted, floats serialize via ``repr`` (exact round trip for finite
+    doubles), and no environment-dependent state (locale, hash seed,
+    dict insertion order) can leak in.
+    """
+    return json.dumps(document, sort_keys=True)
+
+
+def fingerprint_of(document) -> str:
+    """Canonical sha256 fingerprint of a JSON-encodable document."""
+    return sha256_text(canonical_json(document))
+
+
+def sha256_bytes(payload: bytes) -> str:
+    """Hex sha256 of raw bytes (blob integrity, manifest entries)."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def sha256_text(text: str) -> str:
+    """Hex sha256 of UTF-8 encoded text."""
+    return sha256_bytes(text.encode("utf-8"))
+
+
+def netlist_fingerprint(circuit) -> str:
+    """Structural content digest of a digital netlist.
+
+    Covers the full functional identity of a
+    :class:`repro.digital.Circuit` — name, primary inputs and outputs in
+    declaration order, and every gate (output line, type, fan-in lines in
+    pin order) — so two instances share a digest exactly when they are
+    the same netlist.  This is the key compiled artifacts (BDDs,
+    :class:`repro.digital.compiled.CompiledCircuit` tables) are cached
+    under: the interface-plus-size tuples they used before could collide
+    across structurally different blocks, a digest cannot (modulo
+    sha256).  Prefer :meth:`repro.digital.Circuit.fingerprint`, which
+    caches the digest on the instance.
+    """
+    return fingerprint_of(
+        {
+            "kind": "netlist",
+            "name": circuit.name,
+            "inputs": list(circuit.inputs),
+            "outputs": list(circuit.outputs),
+            "gates": [
+                [gate.output, gate.gate_type.name, list(gate.fanins)]
+                for gate in circuit.gates.values()
+            ],
+        }
+    )

@@ -65,8 +65,6 @@ deterministically so every recovery path above is testable on demand.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import multiprocessing
 import os
 import threading
@@ -85,6 +83,7 @@ from ..analog.faultsim import (
     get_engine,
 )
 from ..api.config import CampaignConfig, ConfigError
+from .fingerprint import fingerprint_of
 from .resilience import FailureRecord, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard dep
@@ -92,16 +91,22 @@ if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a hard dep
 
 __all__ = [
     "FINGERPRINT_EXCLUDED_FIELDS",
+    "SHARD_NAMESPACE",
     "ShardRun",
     "ShardRetry",
     "ShardHeartbeat",
     "ShardExecutionError",
     "shard_bounds",
     "campaign_fingerprint",
+    "shard_fingerprint",
     "checkpoint_path",
     "failure_path",
     "run_sharded_campaign",
 ]
+
+#: :class:`repro.core.cache.ResultCache` namespace shard results live
+#: under when :attr:`~repro.api.config.CampaignConfig.cache_dir` is set.
+SHARD_NAMESPACE = "campaign-shard"
 
 #: :class:`~repro.api.config.CampaignConfig` fields deliberately OUTSIDE
 #: campaign fingerprints (and the service layer's dedup key, which
@@ -128,6 +133,9 @@ FINGERPRINT_EXCLUDED_FIELDS = frozenset(
         "heartbeat_interval",  # liveness reporting cadence
         "chaos",            # injected faults perturb execution, not
                             # the outcomes of any run that completes
+        "cache_dir",        # where shard results are cached, not what
+                            # they are (the checkpoint_dir of the
+                            # content-addressed result cache)
     }
 )
 
@@ -205,8 +213,38 @@ def campaign_fingerprint(
         "faults": [[f.element, f.deviation, f.severity] for f in faults],
         "steps": [_step_document(step) for step in steps],
     }
-    encoded = json.dumps(document, sort_keys=True).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    return fingerprint_of(document)
+
+
+def shard_fingerprint(
+    circuit_name: str,
+    config: CampaignConfig,
+    faults: Sequence[FaultSpec],
+    steps: Sequence = (),
+) -> str:
+    """Content digest of one shard's *own* work: its fault slice.
+
+    Unlike :func:`campaign_fingerprint`, the population-drawing knobs
+    (``seed``, ``faults_per_element``, ``severity_range``) are implied
+    by the fault slice itself rather than hashed — the slice *is* the
+    drawn population, fully specified as ``(element, deviation,
+    severity)`` triples — and the shard index and count are deliberately
+    absent.  Two campaigns that assign the same faults to a shard
+    therefore share one cache entry whatever their shard layout, which
+    is exactly what makes a one-element edit recompute only the shards
+    whose slices changed: every untouched slice keeps its fingerprint
+    and is served from the :class:`repro.core.cache.ResultCache`.
+    """
+    document = {
+        "kind": "campaign-shard",
+        "circuit": circuit_name,
+        "engine": config.engine,
+        "backend": config.backend,
+        "digital_engine": config.digital_engine,
+        "faults": [[f.element, f.deviation, f.severity] for f in faults],
+        "steps": [_step_document(step) for step in steps],
+    }
+    return fingerprint_of(document)
 
 
 def checkpoint_path(directory: str | Path, index: int, shards: int) -> Path:
@@ -221,13 +259,20 @@ def failure_path(directory: str | Path, index: int, shards: int) -> Path:
 
 @dataclass
 class ShardRun:
-    """One shard's execution record (fresh or resumed from checkpoint)."""
+    """One shard's execution record (fresh, checkpoint- or cache-resumed).
+
+    ``resumed`` is True whenever the shard was *not* executed by this
+    run; ``from_cache`` further distinguishes a content-addressed
+    :class:`~repro.core.cache.ResultCache` hit from a legacy flat
+    checkpoint file.
+    """
 
     index: int
     outcomes: list[InjectionOutcome]
     seconds: float
     resumed: bool = False
     diagnostics: dict | None = None
+    from_cache: bool = False
 
 
 @dataclass(frozen=True)
@@ -329,6 +374,7 @@ def _execute_shard(context: _ShardContext, index: int) -> ShardRun:
         factor_cache_size=config.factor_cache_size,
         digital_engine=config.digital_engine,
         batch=config.batch,
+        cache_dir=config.cache_dir,
     )
     return ShardRun(
         index=index,
@@ -401,22 +447,9 @@ def _write_checkpoint(
     plan: "ChaosPlan | None" = None,
 ) -> Path:
     """Persist one completed shard atomically (temp file + rename)."""
-    # Imported lazily: repro.api.artifact imports repro.core, so a
-    # module-level import here would be a cycle.
-    from ..api.artifact import Artifact
     from .atomic_io import write_artifact_atomic
 
-    artifact = Artifact.from_campaign_shard(
-        CampaignResult(outcomes=run.outcomes),
-        shard_index=run.index,
-        n_shards=shards,
-        fingerprint=fingerprint,
-        circuit=circuit_name,
-        seconds=run.seconds,
-        # Engine diagnostics ride along so a fully-resumed campaign
-        # still reports which backend/engines produced its outcomes.
-        meta={"diagnostics": run.diagnostics or {}},
-    )
+    artifact = _shard_artifact(run, shards, fingerprint, circuit_name)
     if plan is not None:
         event = plan.event_for("checkpoint", run.index)
         if event is not None and event.action == "torn":
@@ -445,6 +478,58 @@ def _write_failure(
 
     return write_artifact_atomic(
         failure_path(directory, index, shards), Artifact.from_failure(record)
+    )
+
+
+def _shard_artifact(run: ShardRun, shards: int, fingerprint: str, circuit_name: str):
+    """One shard result as a ``campaign-shard`` artifact envelope."""
+    from ..api.artifact import Artifact
+
+    return Artifact.from_campaign_shard(
+        CampaignResult(outcomes=run.outcomes),
+        shard_index=run.index,
+        n_shards=shards,
+        fingerprint=fingerprint,
+        circuit=circuit_name,
+        seconds=run.seconds,
+        # Engine diagnostics ride along so a fully-resumed campaign
+        # still reports which backend/engines produced its outcomes.
+        meta={"diagnostics": run.diagnostics or {}},
+    )
+
+
+def _cache_shard(cache, fingerprint: str, run: ShardRun, shards: int, circuit_name: str) -> None:
+    """Publish one completed shard into the content-addressed cache."""
+    cache.put_artifact(
+        SHARD_NAMESPACE,
+        fingerprint,
+        _shard_artifact(run, shards, fingerprint, circuit_name),
+    )
+
+
+def _load_cached_shard(cache, fingerprint: str, index: int) -> ShardRun | None:
+    """A shard's cached result, or ``None`` on a miss.
+
+    The entry is content-addressed by :func:`shard_fingerprint`, so the
+    stored ``shard_index``/``n_shards`` describe the layout of the run
+    that *produced* it — only the payload fingerprint must match for the
+    outcomes to be this shard's slice verbatim.
+    """
+    artifact = cache.get_artifact(
+        SHARD_NAMESPACE, fingerprint, kind="campaign-shard"
+    )
+    if artifact is None:
+        return None
+    payload = artifact.payload
+    if payload.get("fingerprint") != fingerprint:
+        return None  # foreign or hand-edited entry: a miss, not an error
+    return ShardRun(
+        index=index,
+        outcomes=artifact.campaign().outcomes,
+        seconds=float(payload.get("seconds", 0.0)),
+        resumed=True,
+        diagnostics=artifact.meta.get("diagnostics") or None,
+        from_cache=True,
     )
 
 
@@ -522,6 +607,17 @@ def run_sharded_campaign(
     shards = config.shards
     bounds = shard_bounds(len(faults), shards)
     fingerprint = campaign_fingerprint(mixed.name, config, faults, steps)
+    cache = None
+    shard_fps: list[str] = []
+    if config.cache_dir is not None:
+        # Imported lazily so campaigns without a cache never touch it.
+        from .cache import ResultCache
+
+        cache = ResultCache(config.cache_dir)
+        shard_fps = [
+            shard_fingerprint(mixed.name, config, faults[start:stop], steps)
+            for start, stop in bounds
+        ]
     plan = _active_plan(config)
     policy = RetryPolicy(
         max_attempts=config.shard_attempts,
@@ -541,6 +637,21 @@ def run_sharded_campaign(
         Path(directory).mkdir(parents=True, exist_ok=True)
         for index in range(shards):
             loaded = _load_checkpoint(directory, index, shards, fingerprint)
+            if loaded is not None:
+                runs[index] = loaded
+                if cache is not None:
+                    # Migrate legacy flat checkpoints into the content
+                    # cache (first write wins, re-publishing is free).
+                    _cache_shard(
+                        cache, shard_fps[index], loaded, shards, mixed.name
+                    )
+                if progress is not None:
+                    progress(loaded)
+    if cache is not None:
+        for index in range(shards):
+            if index in runs:
+                continue
+            loaded = _load_cached_shard(cache, shard_fps[index], index)
             if loaded is not None:
                 runs[index] = loaded
                 if progress is not None:
@@ -570,6 +681,8 @@ def run_sharded_campaign(
             # A shard that eventually succeeded clears any quarantine
             # evidence a previous run of this campaign left behind.
             failure_path(directory, run.index, shards).unlink(missing_ok=True)
+        if cache is not None:
+            _cache_shard(cache, shard_fps[run.index], run, shards, mixed.name)
         if progress is not None:
             # Called after the checkpoint is durable: a callback that
             # aborts the campaign never loses the shard it saw land.
@@ -861,6 +974,12 @@ def run_sharded_campaign(
         "fingerprint": fingerprint,
         "resumed_shards": sorted(
             index for index, run in runs.items() if run.resumed
+        ),
+        "shards_from_cache": sorted(
+            index for index, run in runs.items() if run.from_cache
+        ),
+        "shards_executed": sum(
+            1 for run in runs.values() if not run.resumed
         ),
         "retries": retry_rows,
         "quarantined_shards": sorted(quarantined),

@@ -33,6 +33,7 @@ __all__ = [
     "Art005ArtifactKind",
     "Cfg006ConfigTruthiness",
     "Res007SwallowedException",
+    "Cch008DirectDigest",
     "source_rules",
     "lint_source_text",
     "lint_source_tree",
@@ -43,6 +44,7 @@ _CONFIG_MODULE = "repro/api/config.py"
 _ARTIFACT_MODULE = "repro/api/artifact.py"
 _SHARDING_MODULE = "repro/core/sharding.py"
 _JOBS_MODULE = "repro/service/jobs.py"
+_FINGERPRINT_MODULE = "repro/core/fingerprint.py"
 
 
 # ----------------------------------------------------------------------
@@ -251,7 +253,12 @@ class FingerprintContract:
     ``config_vars`` names the variables the fingerprint function reads
     config fields from (``config.seed`` / ``campaign.engine``);
     ``exclude_constant`` is the module-level collection listing fields
-    deliberately outside the fingerprint.
+    deliberately outside the fingerprint.  ``implied_fields`` are
+    config fields the function covers *through another argument*
+    rather than by reading them — e.g. ``shard_fingerprint`` hashes
+    the drawn fault slice itself, which fully determines ``seed`` /
+    ``faults_per_element`` / ``severity_range`` — so they count as
+    classified without an attribute access.
     """
 
     config_module: str
@@ -261,6 +268,7 @@ class FingerprintContract:
     exclude_module: str
     exclude_constant: str
     config_vars: tuple[str, ...] = ("config",)
+    implied_fields: tuple[str, ...] = ()
 
 
 _DEFAULT_CONTRACTS = (
@@ -281,6 +289,18 @@ _DEFAULT_CONTRACTS = (
         exclude_module=_SHARDING_MODULE,
         exclude_constant="FINGERPRINT_EXCLUDED_FIELDS",
         config_vars=("campaign",),
+    ),
+    FingerprintContract(
+        config_module=_CONFIG_MODULE,
+        config_class="CampaignConfig",
+        fingerprint_module=_SHARDING_MODULE,
+        function="shard_fingerprint",
+        exclude_module=_SHARDING_MODULE,
+        exclude_constant="FINGERPRINT_EXCLUDED_FIELDS",
+        config_vars=("config",),
+        # The shard key hashes the fault slice itself; the knobs that
+        # drew the population are determined by it.
+        implied_fields=("seed", "faults_per_element", "severity_range"),
     ),
 )
 
@@ -338,7 +358,8 @@ class Fpr002FingerprintCompleteness(Rule):
                 exclude_module.tree, contract.exclude_constant
             )
         line = function.lineno
-        missing = sorted(set(fields) - accessed - set(excluded))
+        implied = set(contract.implied_fields)
+        missing = sorted(set(fields) - accessed - set(excluded) - implied)
         if missing:
             yield self.finding(
                 f"{contract.config_class} field(s) {missing} are neither "
@@ -362,6 +383,15 @@ class Fpr002FingerprintCompleteness(Rule):
             yield self.finding(
                 f"field(s) {contradicted} are read by {contract.function} "
                 f"but also listed in {contract.exclude_constant} — pick one",
+                target.path,
+                line,
+            )
+        implied_but_read = sorted(implied & accessed & set(fields))
+        if implied_but_read:
+            yield self.finding(
+                f"field(s) {implied_but_read} are declared implied for "
+                f"{contract.function} but the function reads them — drop "
+                "the implied_fields entry or the attribute access",
                 target.path,
                 line,
             )
@@ -940,6 +970,60 @@ class Res007SwallowedException(Rule):
 
 
 # ----------------------------------------------------------------------
+# CCH008 — digests flow through the one fingerprint module
+# ----------------------------------------------------------------------
+class Cch008DirectDigest(Rule):
+    """``hashlib`` digests belong in :mod:`repro.core.fingerprint`."""
+
+    id = "CCH008"
+    title = "direct hashlib digest outside repro/core/fingerprint.py"
+    rationale = (
+        "Every cache key, store fingerprint and manifest hash must be "
+        "one implementation away from the canonical-JSON contract in "
+        "repro/core/fingerprint.py.  A direct hashlib call elsewhere "
+        "can drift (different separators, key order, encoding) and "
+        "silently split or merge cache identities; route it through "
+        "fingerprint_of/sha256_bytes/sha256_text instead."
+    )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterable[Finding]:
+        if module.path == _FINGERPRINT_MODULE:
+            return
+        modules, members = _import_aliases(module.tree)
+        hash_modules = {
+            alias for alias, name in modules.items() if name == "hashlib"
+        }
+        hash_members = {
+            alias
+            for alias, (origin, _) in members.items()
+            if origin == "hashlib"
+        }
+        if not hash_modules and not hash_members:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            direct = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in hash_modules
+            )
+            imported = isinstance(func, ast.Name) and func.id in hash_members
+            if direct or imported:
+                yield self.finding(
+                    f"`{ast.unparse(func)}(...)` hashes outside "
+                    "repro/core/fingerprint.py — use fingerprint_of/"
+                    "sha256_bytes/sha256_text so every digest shares the "
+                    "canonical contract",
+                    module.path,
+                    node.lineno,
+                )
+
+
+# ----------------------------------------------------------------------
 # the frontend drivers
 # ----------------------------------------------------------------------
 def source_rules() -> list[Rule]:
@@ -952,6 +1036,7 @@ def source_rules() -> list[Rule]:
         Art005ArtifactKind(),
         Cfg006ConfigTruthiness(),
         Res007SwallowedException(),
+        Cch008DirectDigest(),
     ]
 
 

@@ -43,6 +43,7 @@ skips, fault drops) in the style of
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
@@ -192,6 +193,30 @@ def _eval_words(op: int, vals: list, mask: np.ndarray):
     return mask.copy()  # CONST1
 
 
+#: bound on the digest-keyed pool of shared compiled tables; generous —
+#: a whole benchmark sweep touches a few dozen distinct netlists.
+_COMPILE_POOL_MAX = 256
+
+_compile_pool = None
+_compile_pool_lock = threading.Lock()
+
+
+def _shared_compile_pool():
+    """The module-wide digest-keyed pool of compiled tables.
+
+    Built lazily: :mod:`repro.core`'s package init reaches this module
+    through the analog stack, so a module-level import of
+    :mod:`repro.core.cache` here would be a cycle.
+    """
+    global _compile_pool
+    with _compile_pool_lock:
+        if _compile_pool is None:
+            from ..core.cache import L1Cache
+
+            _compile_pool = L1Cache(max_size=_COMPILE_POOL_MAX)
+        return _compile_pool
+
+
 class CompiledCircuit:
     """A :class:`Circuit` levelized once into flat index arrays.
 
@@ -204,6 +229,13 @@ class CompiledCircuit:
 
     def __init__(self, circuit: Circuit):
         self.circuit = circuit
+        # Interface snapshot: compiled tables are shared across Circuit
+        # instances with equal content digests, so consumers must read
+        # the interface from the compile-time snapshot, never through
+        # ``self.circuit`` (which names whichever instance compiled
+        # first and may be mutated later).
+        self.name = circuit.name
+        self.inputs: list[str] = list(circuit.inputs)
         order = circuit.topological_order()
         self.names: list[str] = list(circuit.inputs) + order
         self.index: dict[str, int] = {
@@ -233,23 +265,33 @@ class CompiledCircuit:
 
     @classmethod
     def compile(cls, circuit: Circuit) -> "CompiledCircuit":
-        """The compiled form of ``circuit``, cached on the instance.
+        """The compiled form of ``circuit``, cached and shared.
 
-        The compiled form bakes in the input count and the output list
-        as well as the gate array, so — unlike the pure
-        ``topological_order`` cache — the fingerprint covers all three
-        and any interface change recompiles.
+        Two caches compose.  The per-instance fast path keeps the
+        historical staleness test: the compiled form bakes in the input
+        count and the output list as well as the gate array, so — unlike
+        the pure ``topological_order`` cache — the key covers all three
+        and any interface change recompiles.  On an instance miss, a
+        module-wide pool keyed by the netlist *content digest*
+        (:meth:`repro.digital.Circuit.fingerprint`) serves the compile:
+        every Circuit instance carrying the same netlist — copies,
+        re-parses, fork survivors — shares one levelized table instead
+        of each paying the compile.
         """
-        fingerprint = (
+        staleness_key = (
             len(circuit.gates),
             len(circuit.inputs),
             tuple(circuit.outputs),
         )
         cached = getattr(circuit, "_compiled", None)
-        if cached is not None and cached[0] == fingerprint:
+        if cached is not None and cached[0] == staleness_key:
             return cached[1]
-        compiled = cls(circuit)
-        circuit._compiled = (fingerprint, compiled)
+        pool = _shared_compile_pool()
+        digest = circuit.fingerprint()
+        compiled = pool.get(digest)
+        if compiled is None:
+            compiled = pool.setdefault(digest, cls(circuit))
+        circuit._compiled = (staleness_key, compiled)
         return compiled
 
     # ------------------------------------------------------------------
@@ -482,7 +524,7 @@ class CompiledFaultSimulator:
     def _diagnostics(self, n_faults: int, n_patterns: int) -> FaultSimDiagnostics:
         return FaultSimDiagnostics(
             engine=self.name,
-            circuit=self.compiled.circuit.name,
+            circuit=self.compiled.name,
             n_gates=len(self.compiled.opcodes),
             n_faults=n_faults,
             n_patterns=n_patterns,
@@ -491,7 +533,7 @@ class CompiledFaultSimulator:
 
     def _batches(self, patterns: Sequence[Mapping[str, int]]):
         """Yield ``(start, good_values, mask)`` per pattern batch."""
-        inputs = self.compiled.circuit.inputs
+        inputs = self.compiled.inputs
         for start in range(0, len(patterns), self.word_size):
             chunk = patterns[start : start + self.word_size]
             words, mask = pack_patterns(inputs, chunk)

@@ -60,8 +60,9 @@ from ..api.config import (
     GeneratorConfig,
 )
 from ..core.atomic_io import read_artifact, write_artifact_atomic
+from ..core.fingerprint import fingerprint_of
 from ..core.resilience import FailureRecord, RetryPolicy
-from .store import ArtifactStore, fingerprint_of
+from .store import ArtifactStore
 
 __all__ = [
     "JOB_STATES",

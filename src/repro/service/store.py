@@ -12,54 +12,33 @@ same fingerprint is a no-op, and a second *submission* of the same job
 spec is served from the store instead of recomputed (the dedup the
 service layer's whole economics rest on).
 
-Durability follows the shard-checkpoint contract
-(:mod:`repro.core.atomic_io`): writes are atomic (temp file +
-``os.replace``), and a torn, foreign or wrong-kind entry reads back as a
-miss — never an error.  The store is safe to share between the worker
-threads of one scheduler and between processes pointed at the same
-directory: ``gc`` only removes entries that already existed when the
-sweep *started* (checked by mtime, re-stat'd immediately before each
-unlink), and ``put`` freshens its entry's mtime, so a ``put`` racing a
-concurrent ``gc`` can never have its freshly-written artifact deleted
-out from under it.
+Since the unified result cache landed, the store is a thin facade over
+the ``objects`` namespace of a :class:`repro.core.cache.ResultCache`
+rooted at the same directory — the on-disk layout, durability contract
+(atomic writes, torn entries read as a miss) and put-vs-gc race rules
+are the cache's, unchanged from the store's historical behaviour.  The
+facade keeps the service layer's narrower, namespace-free API surface.
 """
 
 from __future__ import annotations
 
-import os
-import re
-import threading
 import time
 from collections.abc import Iterable
 from pathlib import Path
 
 from ..api.artifact import Artifact
-from ..api.config import ConfigError
-from ..core.atomic_io import read_artifact, write_artifact_atomic
+from ..core.cache import ResultCache, check_fingerprint
+
+# Re-exported from the unified implementation: service dedup keys and
+# campaign fingerprints must hash byte-identically, and now they share
+# one function.
+from ..core.fingerprint import fingerprint_of
 
 __all__ = ["fingerprint_of", "ArtifactStore"]
 
-#: a store key is a full sha256 hex digest — nothing else.  Validating
-#: the shape up front keeps ``GET /artifacts/{fp}`` free of path games.
-_FINGERPRINT = re.compile(r"^[0-9a-f]{64}$")
-
-
-def fingerprint_of(document: dict) -> str:
-    """Canonical sha256 fingerprint of a JSON-encodable document."""
-    import hashlib
-    import json
-
-    encoded = json.dumps(document, sort_keys=True).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
-
 
 def _check_fingerprint(fingerprint: str) -> str:
-    if not isinstance(fingerprint, str) or not _FINGERPRINT.match(fingerprint):
-        raise ConfigError(
-            "fingerprint must be a 64-char sha256 hex digest, got "
-            f"{fingerprint!r}"
-        )
-    return fingerprint
+    return check_fingerprint(fingerprint)
 
 
 def _now() -> float:
@@ -78,19 +57,22 @@ class ArtifactStore:
     #: a ``*.tmp`` file younger than this many seconds is an in-flight
     #: atomic write, not a stray: ``gc`` leaves it for the writer's
     #: imminent ``os.replace`` instead of racing it.
-    TMP_GRACE = 5.0
+    TMP_GRACE = ResultCache.TMP_GRACE
+
+    #: the cache namespace the store's objects live in.
+    NAMESPACE = "objects"
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
-        self._objects = self.root / "objects"
-        self._objects.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
+        # Late-bound clock so tests that monkeypatch this module's
+        # ``_now`` (the store's historical seam) steer the cache too.
+        self._cache = ResultCache(self.root, now=lambda: _now())
+        (self.root / self.NAMESPACE).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     def path_for(self, fingerprint: str) -> Path:
         """Where the artifact for ``fingerprint`` lives (exists or not)."""
-        fingerprint = _check_fingerprint(fingerprint)
-        return self._objects / fingerprint[:2] / f"{fingerprint}.json"
+        return self._cache.path_for(self.NAMESPACE, fingerprint)
 
     def put(self, fingerprint: str, artifact: Artifact) -> Path:
         """Store ``artifact`` under ``fingerprint``; first write wins.
@@ -102,36 +84,20 @@ class ArtifactStore:
         a killed writer — or an entry a racing ``gc`` in another process
         unlinked between our read and our touch — is (re)written.
         """
-        path = self.path_for(fingerprint)
-        with self._lock:
-            if read_artifact(path) is None:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                write_artifact_atomic(path, artifact)
-            else:
-                try:
-                    os.utime(path)
-                except FileNotFoundError:
-                    # A cross-process gc removed the entry after we read
-                    # it: re-write, the put must win.
-                    write_artifact_atomic(path, artifact)
-        return path
+        return self._cache.put_artifact(self.NAMESPACE, fingerprint, artifact)
 
     def get(self, fingerprint: str) -> Artifact | None:
         """The stored artifact, or ``None`` on a miss (incl. torn files)."""
-        return read_artifact(self.path_for(fingerprint))
+        return self._cache.get_artifact(self.NAMESPACE, fingerprint)
 
     def has(self, fingerprint: str) -> bool:
         """Whether a *readable* artifact is stored under ``fingerprint``."""
-        return self.get(fingerprint) is not None
+        return self._cache.has_artifact(self.NAMESPACE, fingerprint)
 
     # ------------------------------------------------------------------
     def fingerprints(self) -> list[str]:
         """Every fingerprint with an object file, sorted."""
-        return sorted(
-            path.stem
-            for path in self._objects.glob("??/*.json")
-            if _FINGERPRINT.match(path.stem)
-        )
+        return self._cache.fingerprints(self.NAMESPACE)
 
     def __len__(self) -> int:
         return len(self.fingerprints())
@@ -155,26 +121,15 @@ class ArtifactStore:
         atomic writes about to be renamed over their final path.
         Returns the fingerprints removed, sorted.
         """
-        keep = {_check_fingerprint(fp) for fp in keep}
-        removed = []
-        with self._lock:
-            start = _now()
-            for fingerprint in self.fingerprints():
-                if fingerprint in keep:
-                    continue
-                path = self.path_for(fingerprint)
-                try:
-                    if path.stat().st_mtime >= start:
-                        continue  # written during the sweep: keep it
-                    path.unlink()
-                except FileNotFoundError:
-                    continue  # another sweeper got there first
-                removed.append(fingerprint)
-            for stray in self._objects.glob("??/*.tmp"):
-                try:
-                    if stray.stat().st_mtime >= start - self.TMP_GRACE:
-                        continue  # an atomic write still in flight
-                    stray.unlink()
-                except FileNotFoundError:
-                    continue
-        return sorted(removed)
+        removed = self._cache.gc(
+            keep=keep,
+            namespace=self.NAMESPACE,
+            # Listed through our own method so subclasses/tests that
+            # interpose ``fingerprints()`` steer the sweep, as before.
+            entries=self.fingerprints(),
+        )
+        return sorted(fingerprint for _, fingerprint in removed)
+
+    def cache_stats(self) -> dict:
+        """Counters and occupancy of the underlying result cache."""
+        return self._cache.stats()

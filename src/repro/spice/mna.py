@@ -32,6 +32,7 @@ LU factorization of the assembled matrix.  The factorization serves
 from __future__ import annotations
 
 import cmath
+import dataclasses
 import math
 import threading
 
@@ -42,6 +43,7 @@ from .backends import (
     LinearSystemBackend,
     SingularSystemError,
     SystemAssembler,
+    _DenseFactorization,
     resolve_backend,
 )
 from .components import StampContext
@@ -134,13 +136,23 @@ class MnaSolver:
                 f"factor_cache_size must be >= 1, got {factor_cache_size!r}"
             )
         self.factor_cache_size = factor_cache_size
-        self._factorizations: dict[tuple, "FactorizedMna"] = {}
+        # Imported lazily: repro.core's package init pulls in the
+        # analog stack, which imports this module — a module-level
+        # import of repro.core.cache here would be a cycle.
+        from ..core.cache import L1Cache
+
+        #: L1 of live factorizations — in-memory, LRU-bounded, with the
+        #: historical eviction order and hit/miss counters.
+        self._factorizations = L1Cache(max_size=factor_cache_size)
         #: caller-owned symbolic-pattern cache the sparse backend reuses
         #: across frequencies and deviation states (same topology ⇒ same
         #: sparsity structure).
         self._patterns: dict[bytes, object] = {}
-        self._cache_hits = 0
-        self._cache_misses = 0
+        #: optional on-disk L2 of serialized dense LUs (:meth:`attach_l2`).
+        self._l2 = None
+        self._l2_namespace = "lu-factor"
+        self._l2_hits = 0
+        self._l2_misses = 0
 
     def _assemble(
         self, frequency_hz: float
@@ -217,16 +229,69 @@ class MnaSolver:
         reported by :meth:`cache_stats`.
         """
         key = self._factorization_key(frequency_hz)
-        cached = self._factorizations.pop(key, None)
+        cached = self._factorizations.get(key)
         if cached is None:
-            self._cache_misses += 1
-            cached = FactorizedMna(self, frequency_hz)
-        else:
-            self._cache_hits += 1
-        self._factorizations[key] = cached  # re-insert = most recent
-        while len(self._factorizations) > self.factor_cache_size:
-            self._factorizations.pop(next(iter(self._factorizations)))
+            cached = self._build_factorization(frequency_hz)
+            self._factorizations.put(key, cached)
         return cached
+
+    def attach_l2(self, cache, namespace: str = "lu-factor") -> None:
+        """Back the in-memory factorization LRU with an on-disk L2.
+
+        ``cache`` is a :class:`repro.core.cache.ResultCache`: dense
+        factorizations the L1 has evicted (or never computed) are
+        re-loaded from serialized LU blobs keyed by the full system
+        content — circuit structure and values, deviation state,
+        frequency, gmin, backend — so a factorization cached by any
+        process with the same system is a valid hit here.  Sparse
+        factorizations hold SuperLU handles that cannot be serialized,
+        so the sparse backend stays L1-only.
+        """
+        self._l2 = cache
+        self._l2_namespace = namespace
+
+    def _l2_fingerprint(self, frequency_hz: float) -> str:
+        # Everything the assembled matrix depends on; two solvers with
+        # equal fingerprints factorize the identical system.
+        from ..core.fingerprint import fingerprint_of
+
+        return fingerprint_of(
+            {
+                "kind": "lu-factor",
+                "backend": self.backend.name,
+                "gmin": self.GMIN,
+                "frequency_hz": frequency_hz,
+                "nodes": self.circuit.nodes(),
+                "components": [
+                    [type(component).__name__, dataclasses.asdict(component)]
+                    for component in self.circuit.components
+                ],
+                "deviations": sorted(self.circuit.deviations().items()),
+            }
+        )
+
+    def _build_factorization(self, frequency_hz: float) -> "FactorizedMna":
+        """Construct (or L2-load) the factorization for one L1 miss."""
+        if self._l2 is None or self.backend.name != "dense":
+            return FactorizedMna(self, frequency_hz)
+        fingerprint = self._l2_fingerprint(frequency_hz)
+        blob = self._l2.get_bytes(self._l2_namespace, fingerprint)
+        if blob is not None:
+            factorization = _DenseFactorization.from_blob(blob)
+            if factorization is not None:
+                self._l2_hits += 1
+                return FactorizedMna(
+                    self, frequency_hz, factorization=factorization
+                )
+        self._l2_misses += 1
+        factorized = FactorizedMna(self, frequency_hz)
+        if isinstance(factorized._factorization, _DenseFactorization):
+            self._l2.put_bytes(
+                self._l2_namespace,
+                fingerprint,
+                factorized._factorization.to_blob(),
+            )
+        return factorized
 
     def solve_batch(self, frequencies_hz) -> list[Solution]:
         """Solve at many frequencies, reusing one LU per distinct system.
@@ -242,15 +307,18 @@ class MnaSolver:
 
         ``hits``/``misses`` count :meth:`factorized` lookups; ``size``/
         ``max_size`` describe the LRU; ``backend`` names the linear-
-        system backend serving the factorizations.
+        system backend serving the factorizations.  With an on-disk L2
+        attached (:meth:`attach_l2`), ``l2_hits``/``l2_misses`` count
+        how the L1's misses resolved against it.
         """
-        return {
+        stats = {
             "backend": self.backend.name,
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "size": len(self._factorizations),
-            "max_size": self.factor_cache_size,
+            **self._factorizations.stats(),
         }
+        if self._l2 is not None:
+            stats["l2_hits"] = self._l2_hits
+            stats["l2_misses"] = self._l2_misses
+        return stats
 
     def clear_factorizations(self) -> None:
         """Drop every cached factorization (e.g. after editing values)."""
@@ -326,7 +394,12 @@ class FactorizedMna:
     #: but perfectly conditioned updates.
     DENOM_RTOL = 1e-12
 
-    def __init__(self, solver: MnaSolver, frequency_hz: float):
+    def __init__(
+        self,
+        solver: MnaSolver,
+        frequency_hz: float,
+        factorization=None,
+    ):
         self.solver = solver
         self.frequency_hz = frequency_hz
         system, assembler, s = solver._assemble(frequency_hz)
@@ -334,15 +407,19 @@ class FactorizedMna:
         self._s = s
         self._branch_rows = assembler.branch_rows
         self._size = system.size
-        try:
-            self._factorization = solver.backend.factorize(
-                system, solver._patterns
-            )
-        except SingularSystemError as exc:
-            raise AnalogError(
-                f"singular MNA system for {solver.circuit.name!r} at "
-                f"{frequency_hz} Hz: {exc}"
-            ) from exc
+        if factorization is None:
+            try:
+                factorization = solver.backend.factorize(
+                    system, solver._patterns
+                )
+            except SingularSystemError as exc:
+                raise AnalogError(
+                    f"singular MNA system for {solver.circuit.name!r} at "
+                    f"{frequency_hz} Hz: {exc}"
+                ) from exc
+        # else: an L2-deserialized factorization of this exact system
+        # (the content fingerprint guarantees it) skips the LU cost.
+        self._factorization = factorization
         self._base = self._factorization.solve(system.rhs)
         self._base_solution = solver._solution(
             self._base, self._branch_rows, frequency_hz

@@ -299,6 +299,158 @@ class TestFingerprint:
         )
 
 
+class TestContentCacheResume:
+    """The ResultCache-backed incremental layer (``cache_dir``)."""
+
+    def _population(self, prepared):
+        mixed, report = prepared
+        testable = [t for t in report.analog_tests if t.testable]
+        faults = draw_faults(testable, 4, (0.5, 3.0), random.Random(11))
+        return mixed, testable, faults
+
+    def test_warm_rerun_executes_no_shards(
+        self, prepared, baseline, tmp_path
+    ):
+        mixed, report = prepared
+        config = _config(shards=4, shard_workers=1, cache_dir=str(tmp_path))
+        cold = run_campaign(mixed, report, config=config)
+        assert cold.diagnostics["shards_executed"] == 4
+        assert cold.diagnostics["shards_from_cache"] == []
+        warm = run_campaign(mixed, report, config=config)
+        assert warm.diagnostics["shards_executed"] == 0
+        assert warm.diagnostics["shards_from_cache"] == [0, 1, 2, 3]
+        assert _outcome_key(warm) == _outcome_key(baseline)
+        # The merged outcome documents are byte-identical.
+        assert json.dumps(
+            Artifact.from_campaign(cold).payload, sort_keys=True
+        ) == json.dumps(Artifact.from_campaign(warm).payload, sort_keys=True)
+
+    def test_one_fault_edit_recomputes_only_its_shard(
+        self, prepared, tmp_path
+    ):
+        import dataclasses
+
+        from repro.core.sharding import run_sharded_campaign
+
+        mixed, testable, faults = self._population(prepared)
+        config = _config(shards=4, shard_workers=1, cache_dir=str(tmp_path))
+        cold = run_sharded_campaign(mixed, testable, faults, config)
+        assert cold.diagnostics["shards_executed"] == 4
+        # Edit one fault's deviation: exactly one slice fingerprint
+        # changes, so exactly one shard is recomputed.
+        edited = list(faults)
+        edited[5] = dataclasses.replace(
+            edited[5], deviation=edited[5].deviation * 1.5
+        )
+        warm = run_sharded_campaign(mixed, testable, edited, config)
+        assert warm.diagnostics["shards_executed"] == 1
+        assert len(warm.diagnostics["shards_from_cache"]) == 3
+        # The recomputed slice is the one holding fault #5.
+        bounds = shard_bounds(len(faults), 4)
+        [(touched, _)] = [
+            (i, b) for i, b in enumerate(bounds) if b[0] <= 5 < b[1]
+        ]
+        assert touched not in warm.diagnostics["shards_from_cache"]
+        # Unedited faults keep their outcomes.
+        for cold_o, warm_o in zip(cold.outcomes, warm.outcomes):
+            if cold_o.element == edited[5].element:
+                continue
+            assert (cold_o.element, cold_o.deviation, cold_o.detected) == (
+                warm_o.element, warm_o.deviation, warm_o.detected
+            )
+
+    def test_fanout_and_strategy_knobs_hit_the_same_entries(
+        self, prepared, tmp_path
+    ):
+        mixed, report = prepared
+        cold = run_campaign(
+            mixed,
+            report,
+            config=_config(shards=4, shard_workers=1, cache_dir=str(tmp_path)),
+        )
+        assert cold.diagnostics["shards_executed"] == 4
+        # Different worker counts and the batch strategy flag are
+        # excluded from the shard fingerprint: full cache service.
+        warm = run_campaign(
+            mixed,
+            report,
+            config=_config(
+                shards=4,
+                shard_workers=2,
+                max_workers=3,
+                batch=False,
+                cache_dir=str(tmp_path),
+            ),
+        )
+        assert warm.diagnostics["shards_executed"] == 0
+        assert _outcome_key(warm) == _outcome_key(cold)
+
+    def test_checkpoint_resume_seeds_the_cache(self, prepared, tmp_path):
+        mixed, report = prepared
+        checkpoints = tmp_path / "checkpoints"
+        cache = tmp_path / "cache"
+        # Legacy flat-checkpoint run, no cache.
+        run_campaign(
+            mixed,
+            report,
+            config=_config(shards=3, checkpoint_dir=str(checkpoints)),
+        )
+        # Same campaign with both: checkpoints satisfy the shards and
+        # migrate into the content cache...
+        migrating = run_campaign(
+            mixed,
+            report,
+            config=_config(
+                shards=3,
+                checkpoint_dir=str(checkpoints),
+                cache_dir=str(cache),
+            ),
+        )
+        assert migrating.diagnostics["shards_executed"] == 0
+        assert migrating.diagnostics["shards_from_cache"] == []
+        # ...so a cache-only run (checkpoints gone) is fully served.
+        cached = run_campaign(
+            mixed, report, config=_config(shards=3, cache_dir=str(cache))
+        )
+        assert cached.diagnostics["shards_executed"] == 0
+        assert cached.diagnostics["shards_from_cache"] == [0, 1, 2]
+
+    def test_shard_fingerprint_keys_the_slice_not_the_layout(
+        self, prepared
+    ):
+        from repro.core.sharding import shard_fingerprint
+
+        mixed, testable, faults = self._population(prepared)
+        piece = faults[:8]
+        base = shard_fingerprint(mixed.name, _config(), piece, testable)
+        # Population-drawing knobs are implied by the slice itself.
+        for overrides in (
+            {"seed": 99},
+            {"faults_per_element": 7},
+            {"severity_range": (0.1, 9.0)},
+            {"shards": 5, "shard_workers": 2},
+            {"batch": False},
+            {"cache_dir": "/elsewhere"},
+        ):
+            assert (
+                shard_fingerprint(
+                    mixed.name, _config(**overrides), piece, testable
+                )
+                == base
+            )
+        # Outcome-relevant knobs and the slice itself do invalidate.
+        assert (
+            shard_fingerprint(
+                mixed.name, _config(engine="reference"), piece, testable
+            )
+            != base
+        )
+        assert (
+            shard_fingerprint(mixed.name, _config(), faults[:7], testable)
+            != base
+        )
+
+
 class TestConfigSurface:
     def test_invalid_shard_settings_rejected(self):
         with pytest.raises(ConfigError):

@@ -66,3 +66,109 @@ class TestBenchSmoke:
     def test_passes(self, capsys):
         assert main(["bench-smoke"]) == 0
         assert "all checks passed" in capsys.readouterr().out
+
+
+class TestCampaignCacheDirFlag:
+    def test_parser_accepts_cache_dir(self):
+        from repro.api.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["campaign", "fig4", "--cache-dir", "/tmp/cc"]
+        )
+        assert args.cache_dir == "/tmp/cc"
+        # Default stays None so the config dataclass owns the default.
+        bare = build_parser().parse_args(["campaign", "fig4"])
+        assert bare.cache_dir is None
+
+
+class TestCacheVerb:
+    def _populated(self, tmp_path):
+        """A cache holding one real sharded campaign's entries."""
+        from repro.api import CampaignConfig, Workbench
+        from repro.core import run_campaign
+
+        cache_dir = tmp_path / "cache"
+        session = Workbench().session()
+        mixed = session.circuit("fig4")
+        report = session.run(mixed, stages=("sensitivity", "stimulus")).report
+        run_campaign(
+            mixed,
+            report,
+            config=CampaignConfig(
+                faults_per_element=1,
+                seed=3,
+                shards=2,
+                cache_dir=str(cache_dir),
+            ),
+        )
+        return cache_dir
+
+    def test_stats_verify_and_gc(self, tmp_path, capsys):
+        cache_dir = self._populated(tmp_path)
+
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["namespaces"]["campaign-shard"]["entries"] == 2
+
+        assert main(["cache", "verify", str(cache_dir)]) == 0
+        assert "entries ok" in capsys.readouterr().out
+
+        assert main(["cache", "gc", str(cache_dir), "--keep-gb", "1"]) == 0
+        assert "0 entries evicted" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_with_exit_1(self, tmp_path, capsys):
+        from repro.core.cache import ResultCache
+        from repro.core.fingerprint import fingerprint_of
+
+        cache_dir = tmp_path / "cache"
+        cache = ResultCache(cache_dir)
+        path = cache.put_bytes("unit-test", fingerprint_of({"n": 1}), b"x")
+        path.write_bytes(b"torn")
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "corrupt unit-test/" in captured.err
+        assert "0/1 entries ok" in captured.out
+
+    def test_gc_without_keep_gb_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["cache", "gc", str(tmp_path)]) == 2
+        assert "--keep-gb" in capsys.readouterr().err
+
+
+class TestAuditVerb:
+    def _report_artifact(self, tmp_path):
+        from repro.api import CampaignConfig, Workbench
+
+        session = Workbench().session(
+            campaign=CampaignConfig(faults_per_element=1, seed=3)
+        )
+        result = session.run(
+            "fig4",
+            stages=("sensitivity", "stimulus", "conversion", "atpg",
+                    "campaign"),
+        )
+        path = tmp_path / "report.json"
+        result.to_artifact().save(path)
+        return path
+
+    def test_audit_agrees_and_writes_the_bundle(self, tmp_path, capsys):
+        path = self._report_artifact(tmp_path)
+        bundle = tmp_path / "bundle"
+        summary = tmp_path / "audit.json"
+        code = main(
+            ["audit", str(path), "--out", str(bundle),
+             "--json", str(summary)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all engine pairs agree" in out
+        assert "[ok ] recorded-vs-replayed" in out
+        manifest = json.loads((bundle / "manifest.json").read_text())
+        assert "audit.json" in manifest
+        assert any(name.startswith("replay-") for name in manifest)
+        document = json.loads(summary.read_text())
+        assert document["ok"] is True
+        assert len(document["comparisons"]) == 4
+
+    def test_unresolvable_target_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err

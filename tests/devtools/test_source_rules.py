@@ -7,9 +7,11 @@ Each test pins the rule id and finding line, so a rule that drifts
 from repro.devtools.lint import Project, lint_source_text
 from repro.devtools.lint.source_rules import (
     Art005ArtifactKind,
+    Cch008DirectDigest,
     Cfg006ConfigTruthiness,
     Det001UnseededRandomness,
     Eng004UnknownEngineName,
+    FingerprintContract,
     Fpr002FingerprintCompleteness,
     Lck003UnguardedMemoWrite,
     Res007SwallowedException,
@@ -134,6 +136,39 @@ class TestFpr002:
         [finding] = report.unsuppressed
         assert "'max_workers'" in finding.message
         assert "pick one" in finding.message
+
+    def _implied_contract(self, implied):
+        return FingerprintContract(
+            config_module="repro/api/config.py",
+            config_class="CampaignConfig",
+            fingerprint_module="repro/core/sharding.py",
+            function="campaign_fingerprint",
+            exclude_module="repro/core/sharding.py",
+            exclude_constant="FINGERPRINT_EXCLUDED_FIELDS",
+            implied_fields=implied,
+        )
+
+    def test_implied_field_counts_as_classified(self):
+        # `seed` is neither read nor excluded, but the contract declares
+        # it implied (covered via another argument) — clean.
+        project = _fpr_project("(config.engine,)")
+        rule = Fpr002FingerprintCompleteness(
+            [self._implied_contract(("seed",))]
+        )
+        report = lint_project(project, [rule])
+        assert report.unsuppressed == []
+
+    def test_implied_field_that_is_read_is_flagged(self):
+        # Declaring a field implied *and* reading it means one of the
+        # two statements is stale.
+        project = _fpr_project("(config.seed, config.engine)")
+        rule = Fpr002FingerprintCompleteness(
+            [self._implied_contract(("seed",))]
+        )
+        report = lint_project(project, [rule])
+        [finding] = report.unsuppressed
+        assert "'seed'" in finding.message
+        assert "implied" in finding.message
 
 
 # ----------------------------------------------------------------------
@@ -480,6 +515,45 @@ class TestRes007:
         )
         assert report.unsuppressed == []
         assert len(report.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+class TestCch008:
+    def test_direct_hashlib_call_is_flagged(self):
+        report = lint_source_text(
+            "import hashlib\n"
+            "digest = hashlib.sha256(b'x').hexdigest()\n",
+            path="repro/service/store.py",
+            rules=[Cch008DirectDigest()],
+        )
+        assert _rules_hit(report) == {("CCH008", 2)}
+
+    def test_from_import_alias_is_flagged(self):
+        report = lint_source_text(
+            "from hashlib import sha256 as mk\n"
+            "digest = mk(b'x').hexdigest()\n",
+            path="repro/core/sharding.py",
+            rules=[Cch008DirectDigest()],
+        )
+        assert _rules_hit(report) == {("CCH008", 2)}
+
+    def test_fingerprint_module_is_exempt(self):
+        report = lint_source_text(
+            "import hashlib\n"
+            "digest = hashlib.sha256(b'x').hexdigest()\n",
+            path="repro/core/fingerprint.py",
+            rules=[Cch008DirectDigest()],
+        )
+        assert report.unsuppressed == []
+
+    def test_routed_digest_is_clean(self):
+        report = lint_source_text(
+            "from repro.core.fingerprint import fingerprint_of\n"
+            "digest = fingerprint_of({'kind': 'x'})\n",
+            path="repro/service/store.py",
+            rules=[Cch008DirectDigest()],
+        )
+        assert report.unsuppressed == []
 
 
 # ----------------------------------------------------------------------
